@@ -1,0 +1,346 @@
+// Command hottiles runs the HotTiles preprocessing pipeline on a
+// MatrixMarket file: it tiles the matrix, models every tile for the chosen
+// heterogeneous architecture, partitions it into hot and cold sections, and
+// reports the decision — optionally simulating the partitioned execution
+// and writing the sections back out as MatrixMarket files.
+//
+// Usage:
+//
+//	hottiles -arch spade-sextans:4 -strategy hottiles -simulate matrix.mtx
+//	hottiles -arch piuma -out-hot hot.mtx -out-cold cold.mtx matrix.mtx
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	hottiles "repro"
+	"repro/internal/sparse"
+	"repro/internal/viz"
+)
+
+func main() {
+	archName := flag.String("arch", "spade-sextans:4",
+		"architecture: spade-sextans[:scale], spade-sextans-pcie, piuma, cpu-dsa")
+	strategy := flag.String("strategy", "hottiles", "hottiles|iunaware|hotonly|coldonly")
+	tileSize := flag.Int("tile", 0, "tile size override (0 = architecture default)")
+	opsPerMAC := flag.Float64("ops", 2, "arithmetic-intensity factor (2 = plain SpMM)")
+	seed := flag.Int64("seed", 1, "seed for IUnaware's random assignment")
+	simulate := flag.Bool("simulate", false, "simulate the partitioned execution")
+	reorderPass := flag.String("reorder", "none", "reordering pass: none|degree|bfs|random")
+	autotile := flag.Bool("autotile", false, "search tile sizes {64..1024} with the model and use the best")
+	kernelName := flag.String("kernel", "spmm", "kernel: spmm|spmv|sddmm")
+	k := flag.Int("k", 0, "dense column count override for simulation (0 = default)")
+	outHot := flag.String("out-hot", "", "write the hot section as MatrixMarket")
+	outCold := flag.String("out-cold", "", "write the cold section as MatrixMarket")
+	savePlan := flag.String("save-plan", "", "serialize the preprocessing plan to this file")
+	loadPlan := flag.String("load-plan", "", "skip preprocessing and load a serialized plan")
+	mapFile := flag.String("map", "", "write the tile-assignment map (Figure 5 style) as PGM")
+	traceFile := flag.String("trace", "", "with -simulate: write the bandwidth trace strip as PGM")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: hottiles [flags] matrix.mtx")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	a, err := parseArch(*archName)
+	if err != nil {
+		fail(err)
+	}
+	if *tileSize > 0 {
+		a.TileH, a.TileW = *tileSize, *tileSize
+	}
+	if *k > 0 {
+		a.K = *k
+	}
+
+	strat, err := parseStrategy(*strategy)
+	if err != nil {
+		fail(err)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	m, err := hottiles.ReadMatrixMarket(f)
+	f.Close()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("matrix: %d rows, %d nonzeros, density %.2e\n", m.N, m.NNZ(), m.Density())
+
+	kernel, err := parseKernel(*kernelName)
+	if err != nil {
+		fail(err)
+	}
+	if kernel == hottiles.KernelSpMV {
+		a.K = 1
+	}
+
+	switch *reorderPass {
+	case "none":
+	case "degree":
+		m, err = hottiles.ApplyReorder(m, hottiles.ReorderDegreeSort(m))
+	case "bfs":
+		m, err = hottiles.ApplyReorder(m, hottiles.ReorderBFSCluster(m))
+	case "random":
+		m, err = hottiles.ApplyReorder(m, hottiles.ReorderRandom(m.N, *seed))
+	default:
+		fail(fmt.Errorf("unknown reordering pass %q", *reorderPass))
+	}
+	if err != nil {
+		fail(err)
+	}
+	if *reorderPass != "none" {
+		fmt.Printf("reordered with the %s pass\n", *reorderPass)
+	}
+
+	if *autotile {
+		best, sweep, err := hottiles.AutoTileSize(m, &a, []int{64, 128, 256, 512, 1024}, *opsPerMAC)
+		if err != nil {
+			fail(err)
+		}
+		a.TileH, a.TileW = best, best
+		fmt.Printf("auto tile sizing picked %d:", best)
+		for _, r := range sweep {
+			if r.Valid {
+				fmt.Printf(" %d=%.3fms", r.TileSize, r.Predicted*1e3)
+			}
+		}
+		fmt.Println()
+	}
+
+	var plan *hottiles.Plan
+	if *loadPlan != "" {
+		// The paper's train-once/infer-many workflow (§VI-B): reuse a
+		// stored plan instead of re-running scan/model/partition.
+		pf, err := os.Open(*loadPlan)
+		if err != nil {
+			fail(err)
+		}
+		plan, err = hottiles.ReadPlan(pf)
+		pf.Close()
+		if err != nil {
+			fail(err)
+		}
+		if plan.Grid.N != m.N || plan.Grid.NNZ() != m.NNZ() {
+			fail(fmt.Errorf("stored plan is for a %d/%d matrix, input is %d/%d",
+				plan.Grid.N, plan.Grid.NNZ(), m.N, m.NNZ()))
+		}
+		a.TileH, a.TileW = plan.Grid.TileH, plan.Grid.TileW
+		fmt.Printf("loaded plan from %s\n", *loadPlan)
+	} else {
+		plan, err = hottiles.PartitionWith(m, &a, hottiles.PartitionOptions{
+			Strategy:  strat,
+			OpsPerMAC: *opsPerMAC,
+			Kernel:    kernel,
+			Seed:      *seed,
+		})
+		if err != nil {
+			fail(err)
+		}
+	}
+	report(plan, &a)
+
+	if *savePlan != "" {
+		pf, err := os.Create(*savePlan)
+		if err != nil {
+			fail(err)
+		}
+		if err := hottiles.WritePlan(pf, plan); err != nil {
+			pf.Close()
+			fail(err)
+		}
+		if err := pf.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("saved plan to %s\n", *savePlan)
+	}
+
+	if *outHot != "" {
+		if err := writeSection(*outHot, hotSectionCOO(plan)); err != nil {
+			fail(err)
+		}
+	}
+	if *outCold != "" {
+		cold := plan.Cold
+		if cold == nil && plan.ColdCSR != nil {
+			cold = plan.ColdCSR.ToCOO()
+		}
+		if err := writeSection(*outCold, cold); err != nil {
+			fail(err)
+		}
+	}
+
+	if *mapFile != "" {
+		f, err := os.Create(*mapFile)
+		if err != nil {
+			fail(err)
+		}
+		if err := viz.TileMap(f, plan.Grid, plan.Partition.Hot, 512); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote tile map to %s\n", *mapFile)
+	}
+
+	if *simulate {
+		k := a.K
+		if kernel == hottiles.KernelSpMV {
+			k = 1
+		}
+		din := hottiles.NewDense(m.N, k)
+		for i := range din.Data {
+			din.Data[i] = 1
+		}
+		res, err := hottiles.Simulate(plan, &a, din, hottiles.SimOptions{
+			Serial: plan.Partition.Serial && !a.AtomicRMW,
+			Kernel: kernel,
+			Trace:  *traceFile != "",
+		})
+		if err != nil {
+			fail(err)
+		}
+		if *traceFile != "" {
+			f, err := os.Create(*traceFile)
+			if err != nil {
+				fail(err)
+			}
+			if err := viz.TraceStrip(f, res.Trace, a.BWBytes, 512, 48); err != nil {
+				f.Close()
+				fail(err)
+			}
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+			fmt.Printf("wrote bandwidth trace to %s\n", *traceFile)
+		}
+		fmt.Printf("simulated runtime: %.3f ms (merge %.3f ms)\n", res.Time*1e3, res.MergeTime*1e3)
+		fmt.Printf("bandwidth: %.1f GB/s; lines/nnz: %.2f; hot %.1f GFLOP/s, cold %.1f GFLOP/s\n",
+			res.BandwidthUtil()/1e9, res.CacheLinesPerNNZ(m.NNZ()),
+			res.HotGFLOPs(), res.ColdGFLOPs())
+		switch kernel {
+		case hottiles.KernelSDDMM:
+			fmt.Printf("functional check: %d SDDMM values produced\n", len(res.SDDMM))
+		default:
+			want, err := hottiles.Reference(m, din)
+			if err != nil {
+				fail(err)
+			}
+			diff, _ := res.Output.MaxAbsDiff(want)
+			fmt.Printf("functional check vs reference kernel: max |diff| = %.2e\n", diff)
+		}
+	}
+}
+
+func report(plan *hottiles.Plan, a *hottiles.Arch) {
+	g := plan.Grid
+	hotTiles := 0
+	for _, h := range plan.Partition.Hot {
+		if h {
+			hotTiles++
+		}
+	}
+	nnz, frac := plan.Partition.HotNNZ(g)
+	fmt.Printf("architecture: %s (tile %dx%d, K=%d)\n", a.Name, a.TileH, a.TileW, a.K)
+	fmt.Printf("tiling: %dx%d grid, %d non-empty tiles\n", g.NumTR, g.NumTC, len(g.Tiles))
+	fmt.Printf("partition: %d hot tiles (%d nonzeros, %.0f%%), heuristic %v, %s execution\n",
+		hotTiles, nnz, frac*100, plan.Partition.Heuristic, mode(plan.Partition.Serial))
+	fmt.Printf("predicted runtime: %.3f ms\n", plan.Partition.Predicted*1e3)
+	if plan.Timing.Total() > 0 {
+		fmt.Printf("preprocessing: scan %v, partition %v, formats %v+%v (HotTiles overhead %.0f%%)\n",
+			plan.Timing.Scan, plan.Timing.Partition, plan.Timing.BaseFormat, plan.Timing.ExtraFormat,
+			float64(plan.Timing.Overhead())/float64(plan.Timing.Total())*100)
+	} else {
+		fmt.Println("preprocessing: none (loaded plan)")
+	}
+}
+
+func mode(serial bool) string {
+	if serial {
+		return "serial"
+	}
+	return "parallel"
+}
+
+func hotSectionCOO(plan *hottiles.Plan) *sparse.COO {
+	m := sparse.NewCOO(plan.Grid.N, plan.Hot.NNZ())
+	for _, b := range plan.Hot.Blocks {
+		m.Rows = append(m.Rows, b.Rows...)
+		m.Cols = append(m.Cols, b.Cols...)
+		m.Vals = append(m.Vals, b.Vals...)
+	}
+	m.SortRowMajor()
+	return m
+}
+
+func writeSection(path string, m *sparse.COO) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return hottiles.WriteMatrixMarket(f, m)
+}
+
+func parseArch(name string) (hottiles.Arch, error) {
+	switch {
+	case name == "piuma":
+		return hottiles.PIUMA(), nil
+	case name == "cpu-dsa":
+		return hottiles.CPUDSA(), nil
+	case name == "spade-sextans-pcie":
+		return hottiles.SpadeSextansPCIe(), nil
+	case strings.HasPrefix(name, "spade-sextans"):
+		scale := 4
+		if i := strings.IndexByte(name, ':'); i >= 0 {
+			if _, err := fmt.Sscanf(name[i+1:], "%d", &scale); err != nil {
+				return hottiles.Arch{}, fmt.Errorf("bad scale in %q", name)
+			}
+		}
+		return hottiles.SpadeSextans(scale), nil
+	default:
+		return hottiles.Arch{}, fmt.Errorf("unknown architecture %q", name)
+	}
+}
+
+func parseStrategy(s string) (hottiles.Strategy, error) {
+	switch strings.ToLower(s) {
+	case "hottiles":
+		return hottiles.StrategyHotTiles, nil
+	case "iunaware":
+		return hottiles.StrategyIUnaware, nil
+	case "hotonly":
+		return hottiles.StrategyHotOnly, nil
+	case "coldonly":
+		return hottiles.StrategyColdOnly, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q", s)
+	}
+}
+
+func parseKernel(s string) (hottiles.Kernel, error) {
+	switch strings.ToLower(s) {
+	case "spmm":
+		return hottiles.KernelSpMM, nil
+	case "spmv":
+		return hottiles.KernelSpMV, nil
+	case "sddmm":
+		return hottiles.KernelSDDMM, nil
+	default:
+		return 0, fmt.Errorf("unknown kernel %q", s)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "hottiles:", err)
+	os.Exit(1)
+}

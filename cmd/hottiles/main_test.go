@@ -1,0 +1,72 @@
+package main
+
+import (
+	"testing"
+
+	hottiles "repro"
+)
+
+func TestParseArch(t *testing.T) {
+	a, err := parseArch("piuma")
+	if err != nil || a.Name != "PIUMA" {
+		t.Fatalf("piuma: %v %s", err, a.Name)
+	}
+	a, err = parseArch("spade-sextans")
+	if err != nil || a.Cold.Count != 16 {
+		t.Fatalf("default scale: %v %d", err, a.Cold.Count)
+	}
+	a, err = parseArch("spade-sextans:8")
+	if err != nil || a.Cold.Count != 32 {
+		t.Fatalf("scale 8: %v %d", err, a.Cold.Count)
+	}
+	if _, err := parseArch("spade-sextans:x"); err == nil {
+		t.Fatal("expected bad-scale error")
+	}
+	a, err = parseArch("spade-sextans-pcie")
+	if err != nil || a.Hot.NNZPerCycle != 20 {
+		t.Fatalf("pcie: %v", err)
+	}
+	if _, err := parseArch("tpu"); err == nil {
+		t.Fatal("expected unknown-arch error")
+	}
+}
+
+func TestParseStrategy(t *testing.T) {
+	cases := map[string]hottiles.Strategy{
+		"hottiles": hottiles.StrategyHotTiles,
+		"IUnaware": hottiles.StrategyIUnaware,
+		"HOTONLY":  hottiles.StrategyHotOnly,
+		"coldonly": hottiles.StrategyColdOnly,
+	}
+	for in, want := range cases {
+		got, err := parseStrategy(in)
+		if err != nil || got != want {
+			t.Fatalf("%s: %v %v", in, got, err)
+		}
+	}
+	if _, err := parseStrategy("magic"); err == nil {
+		t.Fatal("expected unknown-strategy error")
+	}
+}
+
+func TestParseKernel(t *testing.T) {
+	cases := map[string]hottiles.Kernel{
+		"spmm": hottiles.KernelSpMM, "SpMV": hottiles.KernelSpMV, "SDDMM": hottiles.KernelSDDMM,
+	}
+	for in, want := range cases {
+		got, err := parseKernel(in)
+		if err != nil || got != want {
+			t.Fatalf("%s: %v %v", in, got, err)
+		}
+	}
+	if _, err := parseKernel("gemm"); err == nil {
+		t.Fatal("expected unknown-kernel error")
+	}
+}
+
+func TestParseArchCPUDSA(t *testing.T) {
+	a, err := parseArch("cpu-dsa")
+	if err != nil || a.Name != "CPU+DSA" {
+		t.Fatalf("cpu-dsa: %v %s", err, a.Name)
+	}
+}

@@ -1,0 +1,37 @@
+package main
+
+import "testing"
+
+func TestBuildBenchmarks(t *testing.T) {
+	m, err := build("pap", "", 0, 0, 0, 1024, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() == 0 {
+		t.Fatal("empty benchmark matrix")
+	}
+	if _, err := build("nope", "", 0, 0, 0, 1024, 1); err == nil {
+		t.Fatal("expected unknown-benchmark error")
+	}
+}
+
+func TestBuildGenerators(t *testing.T) {
+	for _, g := range []string{
+		"uniform", "rmat", "powerlaw", "mesh2d", "stencil3d",
+		"banded", "community", "mycielskian", "denseblocks",
+	} {
+		m, err := build("", g, 512, 8, 2.1, 0, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", g, err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%s: %v", g, err)
+		}
+	}
+	if _, err := build("", "nope", 512, 8, 2.1, 0, 1); err == nil {
+		t.Fatal("expected unknown-generator error")
+	}
+	if _, err := build("", "", 512, 8, 2.1, 0, 1); err == nil {
+		t.Fatal("expected missing-selector error")
+	}
+}

@@ -1,0 +1,239 @@
+// Command spmmsim regenerates the paper's evaluation artifacts: every
+// figure and table of §VIII on the scaled synthetic benchmark suite.
+//
+// Usage:
+//
+//	spmmsim [-scale N] [-seed S] fig4 fig5 fig10 fig11 fig12 fig13 fig14 \
+//	        fig15 fig16 fig17 fig18 tab6 tab7 tab9 | all
+//
+// The -scale flag divides the paper's matrix sizes (DESIGN.md §2); 64 runs
+// the full evaluation in minutes on a laptop.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+type runner func(e *experiments.Env, w io.Writer) error
+
+func main() {
+	scale := flag.Int("scale", 64, "matrix scale divisor (paper sizes / scale)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	flag.Usage = usage
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		usage()
+		os.Exit(2)
+	}
+	e := experiments.NewEnv(*scale, *seed)
+	names := flag.Args()
+	if len(names) == 1 && names[0] == "all" {
+		names = allNames()
+	}
+	for _, name := range names {
+		r, ok := table[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "spmmsim: unknown experiment %q\n", name)
+			usage()
+			os.Exit(2)
+		}
+		start := time.Now()
+		fmt.Printf("==== %s ====\n", name)
+		if err := r(e, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "spmmsim: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+var table = map[string]runner{
+	"fig4": func(e *experiments.Env, w io.Writer) error {
+		studies, err := e.Fig4()
+		if err != nil {
+			return err
+		}
+		for _, st := range studies {
+			st.Render(w)
+		}
+		return nil
+	},
+	"fig5": func(e *experiments.Env, w io.Writer) error {
+		f, err := e.Fig5()
+		if err != nil {
+			return err
+		}
+		f.Render(w)
+		return nil
+	},
+	"fig10": func(e *experiments.Env, w io.Writer) error {
+		st, err := e.Fig10()
+		if err != nil {
+			return err
+		}
+		st.Render(w)
+		return nil
+	},
+	"fig11": func(e *experiments.Env, w io.Writer) error {
+		st, err := e.Fig11()
+		if err != nil {
+			return err
+		}
+		st.Render(w)
+		return nil
+	},
+	"fig12": func(e *experiments.Env, w io.Writer) error {
+		f, err := e.Fig12()
+		if err != nil {
+			return err
+		}
+		f.Render(w)
+		return nil
+	},
+	"fig13": func(e *experiments.Env, w io.Writer) error {
+		f, err := e.Fig13()
+		if err != nil {
+			return err
+		}
+		f.Render(w)
+		return nil
+	},
+	"fig14": func(e *experiments.Env, w io.Writer) error {
+		f, err := e.Fig14()
+		if err != nil {
+			return err
+		}
+		f.Render(w)
+		return nil
+	},
+	"fig15": func(e *experiments.Env, w io.Writer) error {
+		studies, err := e.Fig15()
+		if err != nil {
+			return err
+		}
+		for _, st := range studies {
+			st.Render(w)
+		}
+		return nil
+	},
+	"fig16": func(e *experiments.Env, w io.Writer) error {
+		f, err := e.Fig16()
+		if err != nil {
+			return err
+		}
+		f.Render(w)
+		return nil
+	},
+	"fig17": func(e *experiments.Env, w io.Writer) error {
+		f, err := e.Fig17()
+		if err != nil {
+			return err
+		}
+		f.Render(w)
+		return nil
+	},
+	"fig18": func(e *experiments.Env, w io.Writer) error {
+		f, err := e.Fig18()
+		if err != nil {
+			return err
+		}
+		f.Render(w)
+		return nil
+	},
+	"tab6": func(e *experiments.Env, w io.Writer) error {
+		t, err := e.TableVI()
+		if err != nil {
+			return err
+		}
+		t.Render(w)
+		return nil
+	},
+	"tab7": func(e *experiments.Env, w io.Writer) error {
+		t, err := e.TableVII()
+		if err != nil {
+			return err
+		}
+		t.Render(w)
+		return nil
+	},
+	"tab9": func(e *experiments.Env, w io.Writer) error {
+		t, err := e.TableIX()
+		if err != nil {
+			return err
+		}
+		t.Render(w)
+		return nil
+	},
+	// Beyond the paper: the §IX-D/§X reordering ablation.
+	"reorder": func(e *experiments.Env, w io.Writer) error {
+		r, err := e.Reorder()
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+		return nil
+	},
+	// Beyond the paper: §X's SpMV and SDDMM kernels on the suite.
+	"kernels": func(e *experiments.Env, w io.Writer) error {
+		k, err := e.Kernels()
+		if err != nil {
+			return err
+		}
+		k.Render(w)
+		return nil
+	},
+	// Beyond the paper: robustness of the partitioning to vis_lat
+	// miscalibration (DESIGN.md §8).
+	"vislat": func(e *experiments.Env, w io.Writer) error {
+		v, err := e.VisLat()
+		if err != nil {
+			return err
+		}
+		v.Render(w)
+		return nil
+	},
+}
+
+func allNames() []string {
+	names := make([]string, 0, len(table))
+	for n := range table {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		// figNN before tabN (numerically), extras last alphabetically.
+		ki, kj := orderKey(names[i]), orderKey(names[j])
+		if ki != kj {
+			return ki < kj
+		}
+		return names[i] < names[j]
+	})
+	return names
+}
+
+func orderKey(n string) int {
+	var num int
+	if _, err := fmt.Sscanf(n, "fig%d", &num); err == nil {
+		return num
+	}
+	if _, err := fmt.Sscanf(n, "tab%d", &num); err == nil {
+		return 100 + num
+	}
+	return 1000
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: spmmsim [-scale N] [-seed S] <experiment>...
+
+experiments: %v
+or "all" to run everything.
+`, allNames())
+	flag.PrintDefaults()
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestAllNamesOrdered(t *testing.T) {
+	names := allNames()
+	if len(names) != len(table) {
+		t.Fatalf("%d names for %d experiments", len(names), len(table))
+	}
+	// Figures first, numerically; then tables; extras last.
+	want := []string{"fig4", "fig5", "fig10", "fig11", "fig12", "fig13",
+		"fig14", "fig15", "fig16", "fig17", "fig18", "tab6", "tab7", "tab9",
+		"kernels", "reorder", "vislat"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names[%d] = %s, want %s (full: %v)", i, names[i], want[i], names)
+		}
+	}
+}
+
+func TestOrderKey(t *testing.T) {
+	if orderKey("fig4") >= orderKey("fig10") {
+		t.Fatal("figure ordering wrong")
+	}
+	if orderKey("fig18") >= orderKey("tab6") {
+		t.Fatal("tables must follow figures")
+	}
+	if orderKey("tab9") >= orderKey("reorder") {
+		t.Fatal("extras must come last")
+	}
+}
+
+func TestEveryExperimentRunsAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness sweep")
+	}
+	// One smoke execution of every registered experiment at a very coarse
+	// scale; failures here mean the CLI would crash.
+	for _, name := range allNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			e := newTestEnv()
+			if err := table[name](e, io.Discard); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// newTestEnv returns a very coarse environment for smoke tests.
+func newTestEnv() *experiments.Env { return experiments.NewEnv(1024, 1) }

@@ -1,0 +1,90 @@
+package hottiles_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	hottiles "repro"
+	"repro/internal/gen"
+)
+
+// Example shows the canonical flow: build a matrix with intra-matrix
+// heterogeneity, partition it with HotTiles for the baseline SPADE-Sextans
+// architecture, simulate the heterogeneous execution, and verify the
+// numeric result against the reference kernel.
+func Example() {
+	rng := rand.New(rand.NewSource(1))
+	m := gen.BlockCommunity(rng, 2048, 64, 0.6, 4)
+
+	a := hottiles.SpadeSextans(4)
+	a.TileH, a.TileW = 128, 128
+
+	plan, err := hottiles.Partition(m, &a, hottiles.StrategyHotTiles, 2, 0)
+	if err != nil {
+		panic(err)
+	}
+	din := hottiles.NewDense(m.N, a.K)
+	for i := range din.Data {
+		din.Data[i] = 1
+	}
+	res, err := hottiles.Simulate(plan, &a, din, hottiles.SimOptions{Serial: plan.Partition.Serial})
+	if err != nil {
+		panic(err)
+	}
+	want, err := hottiles.Reference(m, din)
+	if err != nil {
+		panic(err)
+	}
+	diff, _ := res.Output.MaxAbsDiff(want)
+	fmt.Printf("exact result: %v\n", diff < 1e-9)
+	fmt.Printf("ran faster than predicted*10: %v\n", res.Time < plan.Partition.Predicted*10)
+	// Output:
+	// exact result: true
+	// ran faster than predicted*10: true
+}
+
+// ExamplePartitionWith demonstrates kernel selection: the same matrix
+// partitioned for SDDMM, whose output is sparse.
+func ExamplePartitionWith() {
+	rng := rand.New(rand.NewSource(2))
+	m := gen.PowerLaw(rng, 2048, 8, 2.1)
+	a := hottiles.SpadeSextans(4)
+	a.TileH, a.TileW = 128, 128
+
+	plan, err := hottiles.PartitionWith(m, &a, hottiles.PartitionOptions{
+		Strategy: hottiles.StrategyHotTiles,
+		Kernel:   hottiles.KernelSDDMM,
+	})
+	if err != nil {
+		panic(err)
+	}
+	emb := hottiles.NewDense(m.N, a.K)
+	res, err := hottiles.Simulate(plan, &a, emb, hottiles.SimOptions{
+		Serial: plan.Partition.Serial,
+		Kernel: hottiles.KernelSDDMM,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("one value per nonzero: %v\n", len(res.SDDMM) == m.NNZ())
+	// Output:
+	// one value per nonzero: true
+}
+
+// ExampleCalibrate shows the §VI-B vis_lat fitting from profiling runs.
+func ExampleCalibrate() {
+	rng := rand.New(rand.NewSource(3))
+	a := hottiles.SpadeSextans(4)
+	a.TileH, a.TileW = 64, 64
+	reports, err := hottiles.Calibrate(&a, []*hottiles.Matrix{
+		gen.Uniform(rng, 2048, 20000),
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("fitted %d worker types\n", len(reports))
+	fmt.Printf("vis_lat positive: %v\n", reports[0].VisLat > 0 && reports[1].VisLat > 0)
+	// Output:
+	// fitted 2 worker types
+	// vis_lat positive: true
+}

@@ -1,0 +1,75 @@
+// SDDMM for recommender scoring: the second kernel family the paper names
+// as a direct application of HotTiles (§X). Given a user-item interaction
+// graph A (here: a bipartite-flavored power-law graph) and embedding
+// matrices U = V (K = 32 latent factors), SDDMM computes, for every
+// observed interaction, the model's predicted affinity
+// score[i] = A[r,c] · ⟨U[r,:], V[c,:]⟩ — the sparse output pattern makes
+// the kernel lighter on write-back and shifts the partitioning balance
+// relative to SpMM, which this example prints side by side.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	hottiles "repro"
+	"repro/internal/gen"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+	interactions := gen.PowerLaw(rng, 16384, 24, 2.0)
+	fmt.Printf("interaction graph: %d entities, %d interactions\n\n",
+		interactions.N, interactions.NNZ())
+
+	a := hottiles.SpadeSextans(4)
+	a.TileH, a.TileW = 256, 256
+
+	embeddings := hottiles.NewDense(interactions.N, a.K)
+	for i := range embeddings.Data {
+		embeddings.Data[i] = rng.NormFloat64() / 8
+	}
+
+	fmt.Printf("%-8s%14s%12s%16s\n", "kernel", "runtime (ms)", "hot nnz %", "traffic (MB)")
+	for _, kernel := range []hottiles.Kernel{hottiles.KernelSpMM, hottiles.KernelSDDMM} {
+		plan, err := hottiles.PartitionWith(interactions, &a, hottiles.PartitionOptions{
+			Strategy: hottiles.StrategyHotTiles,
+			Kernel:   kernel,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := hottiles.Simulate(plan, &a, embeddings, hottiles.SimOptions{
+			Serial: plan.Partition.Serial,
+			Kernel: kernel,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, frac := plan.Partition.HotNNZ(plan.Grid)
+		fmt.Printf("%-8v%14.4f%11.0f%%%16.2f\n",
+			kernel, res.Time*1e3, frac*100, res.TotalBytes()/1e6)
+
+		if kernel == hottiles.KernelSDDMM {
+			// Verify a few scores against the reference kernel. The sim's
+			// values align with the grid's tile-ordered nonzeros.
+			g := plan.Grid
+			for _, i := range []int{0, len(res.SDDMM) / 2, len(res.SDDMM) - 1} {
+				r, c := g.Rows[i], g.Cols[i]
+				ur, vc := embeddings.Row(int(r)), embeddings.Row(int(c))
+				dot := 0.0
+				for j := range ur {
+					dot += ur[j] * vc[j]
+				}
+				want := g.Vals[i] * dot
+				if d := res.SDDMM[i] - want; d > 1e-9 || d < -1e-9 {
+					log.Fatalf("score %d diverged: %g vs %g", i, res.SDDMM[i], want)
+				}
+			}
+			fmt.Println("\nspot-checked SDDMM scores match the reference kernel")
+		}
+	}
+	fmt.Println("SDDMM writes one score per interaction instead of dense rows,")
+	fmt.Println("so its write-back traffic collapses and more tiles stay cold.")
+}

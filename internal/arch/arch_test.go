@@ -1,0 +1,206 @@
+package arch
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestSpadeSextansTableIVScaling(t *testing.T) {
+	// Table IV: PE counts and throughput grow with scale; bandwidth and
+	// frequency stay constant.
+	for _, scale := range []int{1, 2, 4, 8} {
+		a := SpadeSextans(scale)
+		if err := a.Validate(); err != nil {
+			t.Fatalf("scale %d: %v", scale, err)
+		}
+		if a.Cold.Count != 4*scale {
+			t.Errorf("scale %d: %d SPADE PEs, want %d", scale, a.Cold.Count, 4*scale)
+		}
+		if a.Hot.Count != 1 {
+			t.Errorf("scale %d: %d Sextans PEs, want 1", scale, a.Hot.Count)
+		}
+		if a.Hot.MACsPerCycle != 5*float64(scale) {
+			t.Errorf("scale %d: Sextans MACs/cycle %g, want %d", scale, a.Hot.MACsPerCycle, 5*scale)
+		}
+		if a.BWBytes != 205e9 {
+			t.Errorf("scale %d: bandwidth %g, want 205e9", scale, a.BWBytes)
+		}
+		if a.Cold.FreqHz != 0.8e9 || a.Hot.FreqHz != 0.8e9 {
+			t.Errorf("scale %d: PE frequency changed", scale)
+		}
+		if a.AtomicRMW {
+			t.Errorf("scale %d: SPADE-Sextans has no atomic engine", scale)
+		}
+	}
+	// Scratchpad grows proportionally to scale (Table IV's 0.5/1/2/4 MB).
+	s1, s8 := SpadeSextans(1), SpadeSextans(8)
+	if s8.Hot.ScratchpadBytes != 8*s1.Hot.ScratchpadBytes {
+		t.Errorf("scratchpad scaling: %d vs %d", s1.Hot.ScratchpadBytes, s8.Hot.ScratchpadBytes)
+	}
+}
+
+func TestSpadeSextansWorkerRolesTableIII(t *testing.T) {
+	a := SpadeSextans(4)
+	// Table III rows for SPADE PE and Sextans.
+	if a.Cold.Kind != model.Cold || a.Cold.Format != model.FormatCOO ||
+		a.Cold.DinReuse != model.ReuseNone || a.Cold.DoutReuse != model.ReuseInter {
+		t.Errorf("SPADE PE row of Table III violated: %+v", a.Cold)
+	}
+	if a.Hot.Kind != model.Hot || a.Hot.Format != model.FormatCOO ||
+		a.Hot.DinReuse != model.ReuseIntraStream || a.Hot.DoutReuse != model.ReuseInter {
+		t.Errorf("Sextans row of Table III violated: %+v", a.Hot)
+	}
+	if a.Cold.TiledTraversal {
+		t.Error("SPADE PEs use an untiled traversal (Fig 6(a))")
+	}
+	if !a.Hot.TiledTraversal {
+		t.Error("Sextans uses a tiled traversal (Fig 6(b))")
+	}
+	if a.Cold.ElemBytes != 4 {
+		t.Error("SPADE-Sextans stores values in single precision (§VII-A)")
+	}
+}
+
+func TestSkewedIsoScale(t *testing.T) {
+	for c := 0; c <= 8; c++ {
+		h := 8 - c
+		a := SpadeSextansSkewed(c, h)
+		if c == 0 && a.Cold.Count != 0 {
+			t.Errorf("0-%d: cold pool not empty", h)
+		}
+		if h == 0 && a.Hot.Count != 0 {
+			t.Errorf("%d-0: hot pool not empty", c)
+		}
+		if c > 0 && a.Cold.Count != 4*c {
+			t.Errorf("%d-%d: cold count %d", c, h, a.Cold.Count)
+		}
+		if err := a.Validate(); err != nil {
+			t.Errorf("%d-%d: %v", c, h, err)
+		}
+	}
+}
+
+func TestSpadeSextansPCIe(t *testing.T) {
+	a := SpadeSextansPCIe()
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Hot.NNZPerCycle != 20 {
+		t.Errorf("enhanced Sextans NNZPerCycle = %g, want 20", a.Hot.NNZPerCycle)
+	}
+	if a.Hot.MaxStreamBW != 32e9 {
+		t.Errorf("PCIe link = %g, want 32e9", a.Hot.MaxStreamBW)
+	}
+	// Intensity independence: compute time identical across OpsPerMAC.
+	if a.Hot.ComputeTime(1000, 32, 2) != a.Hot.ComputeTime(1000, 32, 64) {
+		t.Error("enhanced Sextans compute time must not depend on AI")
+	}
+	// The on-chip SPADE PEs slow down with AI as usual.
+	if a.Cold.ComputeTime(1000, 32, 64) <= a.Cold.ComputeTime(1000, 32, 2) {
+		t.Error("SPADE PEs must slow down with AI")
+	}
+}
+
+func TestPIUMA(t *testing.T) {
+	a := PIUMA()
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Cold.Count != 4 || a.Hot.Count != 2 {
+		t.Errorf("PIUMA pools %d/%d, want 4 MTPs / 2 STPs", a.Cold.Count, a.Hot.Count)
+	}
+	if !a.AtomicRMW {
+		t.Error("PIUMA's atomic engine enables shared-buffer RMW")
+	}
+	// Table III rows for MTP/STP; PIUMA stores double precision (§VII-A).
+	if a.Cold.Format != model.FormatCSR || a.Hot.Format != model.FormatCSR {
+		t.Error("PIUMA workers use CSR-like formats")
+	}
+	if a.Hot.DoutReuse != model.ReuseIntraDemand {
+		t.Error("STP Dout reuse is intra-tile (demand)")
+	}
+	if a.Cold.ElemBytes != 8 || a.Hot.ElemBytes != 8 {
+		t.Error("PIUMA stores values in double precision")
+	}
+	// Hot:cold throughput ratio is smaller than in SPADE-Sextans (§VIII-A
+	// explains myc's different behavior with this).
+	ss := SpadeSextans(4)
+	piumaRatio := a.Hot.PeakFLOPs(32, 2) * float64(a.Hot.Count) /
+		(a.Cold.PeakFLOPs(32, 2) * float64(a.Cold.Count))
+	ssRatio := ss.Hot.PeakFLOPs(32, 2) * float64(ss.Hot.Count) /
+		(ss.Cold.PeakFLOPs(32, 2) * float64(ss.Cold.Count))
+	_ = piumaRatio
+	perWorkerPIUMA := a.Hot.PeakFLOPs(32, 2) / a.Cold.PeakFLOPs(32, 2)
+	perWorkerSS := ss.Hot.PeakFLOPs(32, 2) / ss.Cold.PeakFLOPs(32, 2)
+	if perWorkerPIUMA >= perWorkerSS {
+		t.Errorf("PIUMA per-worker hot:cold ratio %.1f should be below SPADE-Sextans %.1f",
+			perWorkerPIUMA, perWorkerSS)
+	}
+	_ = ssRatio
+}
+
+func TestValidateCatchesBadArch(t *testing.T) {
+	a := SpadeSextans(4)
+	a.BWBytes = 0
+	if a.Validate() == nil {
+		t.Error("expected bandwidth error")
+	}
+	a = SpadeSextans(4)
+	a.TileW = 0
+	if a.Validate() == nil {
+		t.Error("expected tile error")
+	}
+	a = SpadeSextans(4)
+	a.TileW = 1 << 20 // overflows the hot scratchpad
+	if a.Validate() == nil {
+		t.Error("expected scratchpad overflow error")
+	}
+	a = SpadeSextansSkewed(0, 0)
+	if a.Validate() == nil {
+		t.Error("expected no-workers error")
+	}
+	a = SpadeSextans(4)
+	a.Cold.ElemBytes = 0
+	if a.Validate() == nil {
+		t.Error("expected worker validation error")
+	}
+	a = SpadeSextans(4)
+	a.Hot.FreqHz = 0
+	if a.Validate() == nil {
+		t.Error("expected hot worker validation error")
+	}
+}
+
+func TestConfigBridge(t *testing.T) {
+	a := PIUMA()
+	cfg := a.Config(2)
+	if cfg.Hot != &a.Hot || cfg.Cold != &a.Cold {
+		t.Error("config must reference the arch's workers")
+	}
+	if !cfg.AtomicRMW || cfg.BWBytes != a.BWBytes {
+		t.Error("config fields wrong")
+	}
+	if cfg.Params.K != 32 || cfg.Params.OpsPerMAC != 2 {
+		t.Errorf("params %+v", cfg.Params)
+	}
+}
+
+func TestCPUDSA(t *testing.T) {
+	a := CPUDSA()
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !a.AtomicRMW {
+		t.Error("cache-coherent CPUs need no merge buffers")
+	}
+	if a.SharedL2Bytes <= 0 {
+		t.Error("CPU+DSA models a shared last-level cache (§X)")
+	}
+	if a.Cold.Count != 16 || a.Hot.Count != 1 {
+		t.Errorf("pools %d/%d, want 16 cores + 1 DSA", a.Cold.Count, a.Hot.Count)
+	}
+	if a.Hot.DinReuse != model.ReuseIntraStream || a.Cold.DinReuse != model.ReuseNone {
+		t.Error("DSA streams, cores demand-access")
+	}
+}

@@ -1,0 +1,105 @@
+package dense
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sparse"
+)
+
+func TestSpMVMatchesSpMMWithK1(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomSparse(rng, 50, 300)
+	x := make([]float64, 50)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y := make([]float64, 50)
+	if err := SpMV(a, x, y); err != nil {
+		t.Fatal(err)
+	}
+	din := &Matrix{N: 50, K: 1, Data: append([]float64(nil), x...)}
+	dout := NewMatrix(50, 1)
+	if err := SpMM(a, din, dout); err != nil {
+		t.Fatal(err)
+	}
+	for i := range y {
+		if d := y[i] - dout.At(i, 0); d > 1e-12 || d < -1e-12 {
+			t.Fatalf("row %d: SpMV %g vs SpMM %g", i, y[i], dout.At(i, 0))
+		}
+	}
+}
+
+func TestSpMVAccumulatesAndValidates(t *testing.T) {
+	a := identity(3)
+	x := []float64{1, 2, 3}
+	y := []float64{10, 10, 10}
+	if err := SpMV(a, x, y); err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 11 || y[2] != 13 {
+		t.Fatalf("y = %v", y)
+	}
+	if err := SpMV(a, x[:2], y); err == nil {
+		t.Fatal("expected x shape error")
+	}
+	if err := SpMV(a, x, y[:2]); err == nil {
+		t.Fatal("expected y shape error")
+	}
+}
+
+func TestSDDMMKnownValues(t *testing.T) {
+	// A = [[2 at (0,1)]], U = [[1,2],[3,4]], V = [[5,6],[7,8]].
+	a := sparse.NewCOO(2, 1)
+	a.Append(0, 1, 2)
+	u := &Matrix{N: 2, K: 2, Data: []float64{1, 2, 3, 4}}
+	v := &Matrix{N: 2, K: 2, Data: []float64{5, 6, 7, 8}}
+	out, err := SDDMM(a, u, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// out[0] = 2 · ⟨U[0], V[1]⟩ = 2 · (1·7 + 2·8) = 46.
+	if len(out) != 1 || out[0] != 46 {
+		t.Fatalf("out = %v, want [46]", out)
+	}
+}
+
+func TestSDDMMValidates(t *testing.T) {
+	a := identity(3)
+	if _, err := SDDMM(a, NewMatrix(2, 2), NewMatrix(3, 2)); err == nil {
+		t.Fatal("expected U shape error")
+	}
+	if _, err := SDDMM(a, NewMatrix(3, 2), NewMatrix(3, 3)); err == nil {
+		t.Fatal("expected K mismatch error")
+	}
+}
+
+// Property: SDDMM on the identity sampling pattern recovers the diagonal of
+// U·Vᵀ.
+func TestSDDMMIdentityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		k := 1 + rng.Intn(5)
+		u := NewRandom(rng, n, k)
+		v := NewRandom(rng, n, k)
+		out, err := SDDMM(identity(n), u, v)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			dot := 0.0
+			for j := 0; j < k; j++ {
+				dot += u.At(i, j) * v.At(i, j)
+			}
+			if d := out[i] - dot; d > 1e-12 || d < -1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

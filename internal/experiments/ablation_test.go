@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReorderAblation(t *testing.T) {
+	e := testEnv()
+	r, err := e.Reorder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 10 {
+		t.Fatalf("%d rows, want 10", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Original <= 0 || row.Clustered <= 0 || row.Shuffled <= 0 {
+			t.Fatalf("%s: non-positive runtime %+v", row.Short, row)
+		}
+	}
+	// Destroying intra-matrix heterogeneity with a random shuffle must slow
+	// HotTiles down on average — the core premise of the paper.
+	if r.AvgShuffleSlowdown < 1.05 {
+		t.Errorf("random shuffle slowdown %.2f too small; IMH not being exploited?",
+			r.AvgShuffleSlowdown)
+	}
+	// BFS clustering must not wreck performance (it reorganizes, not
+	// destroys, structure).
+	if r.AvgClusterSpeedup < 0.7 {
+		t.Errorf("BFS clustering hurt HotTiles by %.2fx", 1/r.AvgClusterSpeedup)
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "random shuffle slows") {
+		t.Error("render broken")
+	}
+}

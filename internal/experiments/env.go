@@ -1,0 +1,258 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§VIII) on the scaled synthetic benchmark suite: Figures 4, 5,
+// 10-18 and Tables VI, VII, IX. Each experiment returns a typed result and
+// renders the same rows/series the paper reports; the cmd/spmmsim binary
+// prints them and EXPERIMENTS.md records paper-vs-measured.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/arch"
+	"repro/internal/dense"
+	"repro/internal/gen"
+	"repro/internal/partition"
+	"repro/internal/semiring"
+	"repro/internal/sim"
+	"repro/internal/sparse"
+	"repro/internal/tile"
+)
+
+// Env builds and caches benchmark matrices, tilings, and simulation runs so
+// experiments that share work (most of them) do not repeat it.
+type Env struct {
+	// Scale divides the paper's row counts (DESIGN.md §2); 64 reproduces
+	// the evaluation in minutes, larger values suit tests.
+	Scale int
+	// Seed drives matrix generation and IUnaware's random assignment.
+	Seed int64
+
+	mu    sync.Mutex
+	mats  map[string]*sparse.COO
+	grids map[string]*tile.Grid
+	runs  map[string]*runOut
+}
+
+// NewEnv returns an Env at the given matrix scale.
+func NewEnv(scale int, seed int64) *Env {
+	return &Env{
+		Scale: scale,
+		Seed:  seed,
+		mats:  map[string]*sparse.COO{},
+		grids: map[string]*tile.Grid{},
+		runs:  map[string]*runOut{},
+	}
+}
+
+// TileSize returns the tile dimension matching the matrix scale: the
+// paper's 8192 divided by the same factor, clamped to [64, 512].
+func (e *Env) TileSize() int {
+	t := 8192 * 2 / e.Scale // ×2: keeps ≥ 8×8 tiles per scaled matrix
+	if t > 512 {
+		t = 512
+	}
+	if t < 64 {
+		t = 64
+	}
+	return t
+}
+
+// Matrix builds (or returns the cached) structural mimic of benchmark b.
+func (e *Env) Matrix(b gen.Benchmark) *sparse.COO {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if m, ok := e.mats[b.Short]; ok {
+		return m
+	}
+	m := b.Build(e.Seed, e.Scale)
+	e.mats[b.Short] = m
+	return m
+}
+
+// Grid tiles benchmark b's matrix at the given tile size (cached).
+func (e *Env) Grid(b gen.Benchmark, tileSize int) (*tile.Grid, error) {
+	m := e.Matrix(b)
+	key := fmt.Sprintf("%s/%d", b.Short, tileSize)
+	e.mu.Lock()
+	if g, ok := e.grids[key]; ok {
+		e.mu.Unlock()
+		return g, nil
+	}
+	e.mu.Unlock()
+	g, err := tile.Partition(m, tileSize, tileSize)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.grids[key] = g
+	e.mu.Unlock()
+	return g, nil
+}
+
+// Strategy identifiers reused across experiments.
+const (
+	StratHotOnly  = "HotOnly"
+	StratColdOnly = "ColdOnly"
+	StratIUnaware = "IUnaware"
+	StratHotTiles = "HotTiles"
+)
+
+// runOut is one cached simulated execution.
+type runOut struct {
+	Time      float64          // simulated seconds (including merge)
+	Sim       *sim.Result      // full simulator statistics
+	Part      partition.Result // the partitioning used
+	Predicted float64          // the model's predicted runtime for this run
+}
+
+// exec runs strategy strat for benchmark b on architecture a (with the
+// arch's tile size overridden to the Env's) and caches the outcome.
+// opsPerMAC carries the gSpMM intensity (2 = plain SpMM).
+func (e *Env) exec(a arch.Arch, b gen.Benchmark, strat string, opsPerMAC float64) (*runOut, error) {
+	a.TileH, a.TileW = e.TileSize(), e.TileSize()
+	key := fmt.Sprintf("%s|%s|%s|%g", a.Name, b.Short, strat, opsPerMAC)
+	e.mu.Lock()
+	if r, ok := e.runs[key]; ok {
+		e.mu.Unlock()
+		return r, nil
+	}
+	e.mu.Unlock()
+
+	g, err := e.Grid(b, a.TileH)
+	if err != nil {
+		return nil, err
+	}
+	cfg := a.Config(opsPerMAC)
+
+	var part partition.Result
+	serial := false
+	switch strat {
+	case StratHotOnly:
+		hot := partition.AllHot(g)
+		pred, tot, err := partition.Predict(g, &cfg, hot, false)
+		if err != nil {
+			return nil, err
+		}
+		part = partition.Result{Hot: hot, Predicted: pred, Totals: tot}
+	case StratColdOnly:
+		cold := partition.AllCold(g)
+		pred, tot, err := partition.Predict(g, &cfg, cold, false)
+		if err != nil {
+			return nil, err
+		}
+		part = partition.Result{Hot: cold, Predicted: pred, Totals: tot}
+	case StratIUnaware:
+		part, err = partition.IUnaware(g, cfg, e.Seed)
+		if err != nil {
+			return nil, err
+		}
+	case StratHotTiles:
+		part, err = partition.HotTiles(g, cfg)
+		if err != nil {
+			return nil, err
+		}
+		serial = part.Serial
+	default:
+		return nil, fmt.Errorf("experiments: unknown strategy %q", strat)
+	}
+
+	// The simulator must see the same arithmetic intensity the partitioner
+	// planned for.
+	sr := semiring.PlusTimes()
+	sr.OpsPerMAC = opsPerMAC
+	r, err := sim.Run(g, part.Hot, &a, nil, sim.Options{
+		Serial:         serial,
+		Semiring:       &sr,
+		SkipFunctional: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &runOut{Time: r.Time, Sim: r, Part: part, Predicted: part.Predicted}
+	e.mu.Lock()
+	e.runs[key] = out
+	e.mu.Unlock()
+	return out, nil
+}
+
+// execHeuristic forces one HotTiles heuristic (Figure 12).
+func (e *Env) execHeuristic(a arch.Arch, b gen.Benchmark, h partition.Heuristic) (*runOut, error) {
+	a.TileH, a.TileW = e.TileSize(), e.TileSize()
+	key := fmt.Sprintf("%s|%s|heur:%v", a.Name, b.Short, h)
+	e.mu.Lock()
+	if r, ok := e.runs[key]; ok {
+		e.mu.Unlock()
+		return r, nil
+	}
+	e.mu.Unlock()
+
+	g, err := e.Grid(b, a.TileH)
+	if err != nil {
+		return nil, err
+	}
+	part, err := partition.RunHeuristic(g, a.Config(2), h)
+	if err != nil {
+		return nil, err
+	}
+	r, err := sim.Run(g, part.Hot, &a, nil, sim.Options{Serial: part.Serial, SkipFunctional: true})
+	if err != nil {
+		return nil, err
+	}
+	out := &runOut{Time: r.Time, Sim: r, Part: part, Predicted: part.Predicted}
+	e.mu.Lock()
+	e.runs[key] = out
+	e.mu.Unlock()
+	return out, nil
+}
+
+// Verify functionally executes benchmark b's HotTiles partitioning on
+// architecture a and compares against the reference kernel, returning the
+// max absolute error. It backs the repository-wide correctness invariant.
+func (e *Env) Verify(a arch.Arch, b gen.Benchmark) (float64, error) {
+	a.TileH, a.TileW = e.TileSize(), e.TileSize()
+	m := e.Matrix(b)
+	g, err := e.Grid(b, a.TileH)
+	if err != nil {
+		return 0, err
+	}
+	part, err := partition.HotTiles(g, a.Config(2))
+	if err != nil {
+		return 0, err
+	}
+	din := dense.NewFilled(m.N, a.K, 1)
+	r, err := sim.Run(g, part.Hot, &a, din, sim.Options{Serial: part.Serial})
+	if err != nil {
+		return 0, err
+	}
+	want := dense.NewMatrix(m.N, a.K)
+	if err := dense.SpMM(m, din, want); err != nil {
+		return 0, err
+	}
+	return r.Output.MaxAbsDiff(want)
+}
+
+// geomean returns the geometric mean of positive values.
+func geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// mean returns the arithmetic mean.
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

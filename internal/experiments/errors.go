@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/arch"
+	"repro/internal/gen"
+)
+
+// Fig17Result is the prediction-error study: per matrix and architecture,
+// the relative error of the model's predicted execution time against the
+// simulated one, for HotOnly, ColdOnly and HotTiles.
+type Fig17Result struct {
+	Archs []Fig17Arch
+	// AvgError maps strategy name to the mean |error| across matrices and
+	// architectures (the paper reports 4.8% / 19.6% / 12.4%).
+	AvgError map[string]float64
+}
+
+// Fig17Arch is one architecture's error rows.
+type Fig17Arch struct {
+	ArchName string
+	Rows     []Fig17Row
+}
+
+// Fig17Row is one matrix's signed relative errors (positive =
+// over-prediction).
+type Fig17Row struct {
+	Short                       string
+	HotOnly, ColdOnly, HotTiles float64
+}
+
+// Fig17 reproduces the prediction-error figure on SPADE-Sextans (scale 4)
+// and PIUMA.
+func (e *Env) Fig17() (*Fig17Result, error) {
+	out := &Fig17Result{AvgError: map[string]float64{}}
+	sums := map[string][]float64{}
+	for _, a := range []arch.Arch{arch.SpadeSextans(4), arch.PIUMA()} {
+		fa := Fig17Arch{ArchName: a.Name}
+		for _, b := range gen.Benchmarks() {
+			row := Fig17Row{Short: b.Short}
+			for _, s := range []string{StratHotOnly, StratColdOnly, StratHotTiles} {
+				r, err := e.exec(a, b, s, 2)
+				if err != nil {
+					return nil, err
+				}
+				rel := (r.Predicted - r.Time) / r.Time
+				switch s {
+				case StratHotOnly:
+					row.HotOnly = rel
+				case StratColdOnly:
+					row.ColdOnly = rel
+				case StratHotTiles:
+					row.HotTiles = rel
+				}
+				sums[s] = append(sums[s], math.Abs(rel))
+			}
+			fa.Rows = append(fa.Rows, row)
+		}
+		out.Archs = append(out.Archs, fa)
+	}
+	for s, xs := range sums {
+		out.AvgError[s] = mean(xs)
+	}
+	return out, nil
+}
+
+// Render prints the Figure 17 error series.
+func (f *Fig17Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Relative error of predicted vs simulated execution time (%)")
+	for _, fa := range f.Archs {
+		fmt.Fprintf(w, "%s\n%-8s%10s%10s%10s\n", fa.ArchName, "matrix", "HotOnly", "ColdOnly", "HotTiles")
+		for _, r := range fa.Rows {
+			fmt.Fprintf(w, "%-8s%9.1f%%%9.1f%%%9.1f%%\n",
+				r.Short, r.HotOnly*100, r.ColdOnly*100, r.HotTiles*100)
+		}
+	}
+	fmt.Fprintf(w, "average |error|: HotOnly %.1f%%, ColdOnly %.1f%%, HotTiles %.1f%%\n",
+		f.AvgError[StratHotOnly]*100, f.AvgError[StratColdOnly]*100, f.AvgError[StratHotTiles]*100)
+}

@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestKernelsStudy(t *testing.T) {
+	e := testEnv()
+	k, err := e.Kernels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(k.Rows) != 10 {
+		t.Fatalf("%d rows", len(k.Rows))
+	}
+	for _, r := range k.Rows {
+		if r.SpMM <= 0 || r.SpMV <= 0 || r.SDDMM <= 0 {
+			t.Fatalf("%s: non-positive runtime %+v", r.Short, r)
+		}
+		// SpMV (K=1) moves a fraction of SpMM's dense traffic.
+		if r.SpMV >= r.SpMM {
+			t.Errorf("%s: SpMV %.3e not below SpMM %.3e", r.Short, r.SpMV, r.SpMM)
+		}
+		// SDDMM saves the dense write-back; per-matrix the heuristic may
+		// still trade that for a different split, so only gross regressions
+		// fail here — the average is the real claim.
+		if r.SDDMM > r.SpMM*1.5 {
+			t.Errorf("%s: SDDMM %.3e far above SpMM %.3e", r.Short, r.SDDMM, r.SpMM)
+		}
+	}
+	if k.AvgSDDMMOverSpMM >= 1 {
+		t.Errorf("SDDMM/SpMM ratio %.2f should be < 1", k.AvgSDDMMOverSpMM)
+	}
+	var buf bytes.Buffer
+	k.Render(&buf)
+	if !strings.Contains(buf.String(), "SDDMM runs at") {
+		t.Error("render broken")
+	}
+}

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/arch"
+	"repro/internal/gen"
+	"repro/internal/partition"
+)
+
+// Fig12Result compares HotTiles against its four individual heuristics
+// across the Table IV system scales, with the homogeneous bandwidth
+// utilization per scale.
+type Fig12Result struct {
+	Rows []Fig12Row
+}
+
+// Fig12Row is one system scale's averages.
+type Fig12Row struct {
+	Scale int
+	// SpeedupVsBestHom maps "HotTiles" and each heuristic name to its
+	// geometric-mean speedup over BestHomogeneous across the suite.
+	SpeedupVsBestHom map[string]float64
+	// AvgHomBandwidthGBs is the system bandwidth utilization averaged
+	// across both homogeneous executions and the suite (the paper's
+	// per-scale annotation).
+	AvgHomBandwidthGBs float64
+}
+
+// Fig12 reproduces the heuristic study of Figure 12.
+func (e *Env) Fig12() (*Fig12Result, error) {
+	out := &Fig12Result{}
+	heuristics := []partition.Heuristic{
+		partition.MinTimeParallel, partition.MinTimeSerial,
+		partition.MinByteParallel, partition.MinByteSerial,
+	}
+	for _, scale := range []int{1, 2, 4, 8} {
+		a := arch.SpadeSextans(scale)
+		row := Fig12Row{Scale: scale, SpeedupVsBestHom: map[string]float64{}}
+		ratios := map[string][]float64{}
+		var bw []float64
+		for _, b := range gen.Benchmarks() {
+			ho, err := e.exec(a, b, StratHotOnly, 2)
+			if err != nil {
+				return nil, err
+			}
+			co, err := e.exec(a, b, StratColdOnly, 2)
+			if err != nil {
+				return nil, err
+			}
+			best := ho.Time
+			if co.Time < best {
+				best = co.Time
+			}
+			bw = append(bw, (ho.Sim.BandwidthUtil()+co.Sim.BandwidthUtil())/2)
+
+			ht, err := e.exec(a, b, StratHotTiles, 2)
+			if err != nil {
+				return nil, err
+			}
+			ratios[StratHotTiles] = append(ratios[StratHotTiles], best/ht.Time)
+			for _, h := range heuristics {
+				r, err := e.execHeuristic(a, b, h)
+				if err != nil {
+					return nil, err
+				}
+				ratios[h.String()] = append(ratios[h.String()], best/r.Time)
+			}
+		}
+		for name, rs := range ratios {
+			row.SpeedupVsBestHom[name] = geomean(rs)
+		}
+		row.AvgHomBandwidthGBs = mean(bw) / 1e9
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Render prints the Figure 12 series.
+func (f *Fig12Result) Render(w io.Writer) {
+	names := []string{
+		StratHotTiles,
+		partition.MinTimeParallel.String(), partition.MinTimeSerial.String(),
+		partition.MinByteParallel.String(), partition.MinByteSerial.String(),
+	}
+	fmt.Fprintln(w, "SPADE-Sextans — average speedup vs BestHomogeneous per system scale")
+	fmt.Fprintf(w, "%-6s", "scale")
+	for _, n := range names {
+		fmt.Fprintf(w, "%18s", n)
+	}
+	fmt.Fprintf(w, "%14s\n", "hom BW (GB/s)")
+	for _, r := range f.Rows {
+		fmt.Fprintf(w, "%-6d", r.Scale)
+		for _, n := range names {
+			fmt.Fprintf(w, "%18.2f", r.SpeedupVsBestHom[n])
+		}
+		fmt.Fprintf(w, "%14.1f\n", r.AvgHomBandwidthGBs)
+	}
+}
+
+// Fig16Result is the iso-scale exploration: per architecture, the predicted
+// and actual average speedup over the baseline 4-4.
+type Fig16Result struct {
+	Names     []string // "0-8" … "8-0"
+	Predicted []float64
+	Actual    []float64
+	// PredictedBest/ActualBest are the winning architecture names.
+	PredictedBest, ActualBest string
+}
+
+// Fig16 reproduces the fixed-architecture exploration scenario of §VIII-B:
+// for each iso-scale SPADE-Sextans architecture, the average (over the
+// suite) speedup over 4-4, both as HotTiles predicts it and as simulated.
+func (e *Env) Fig16() (*Fig16Result, error) {
+	const total = 8
+	type accum struct{ pred, act []float64 }
+	accums := make([]accum, total+1)
+	names := make([]string, total+1)
+	for c := 0; c <= total; c++ {
+		names[c] = fmt.Sprintf("%d-%d", c, total-c)
+	}
+
+	for _, b := range gen.Benchmarks() {
+		// Baseline 4-4 runtimes for this matrix.
+		base, err := e.exec(arch.SpadeSextans(4), b, StratHotTiles, 2)
+		if err != nil {
+			return nil, err
+		}
+		for c := 0; c <= total; c++ {
+			a := arch.SpadeSextansSkewed(c, total-c)
+			r, err := e.exec(a, b, StratHotTiles, 2)
+			if err != nil {
+				return nil, err
+			}
+			accums[c].pred = append(accums[c].pred, base.Predicted/r.Predicted)
+			accums[c].act = append(accums[c].act, base.Time/r.Time)
+		}
+	}
+	out := &Fig16Result{Names: names}
+	bestP, bestA := 0, 0
+	for c := 0; c <= total; c++ {
+		p := geomean(accums[c].pred)
+		a := geomean(accums[c].act)
+		out.Predicted = append(out.Predicted, p)
+		out.Actual = append(out.Actual, a)
+		if p > out.Predicted[bestP] {
+			bestP = c
+		}
+		if a > out.Actual[bestA] {
+			bestA = c
+		}
+	}
+	out.PredictedBest = names[bestP]
+	out.ActualBest = names[bestA]
+	return out, nil
+}
+
+// Render prints the Figure 16 series.
+func (f *Fig16Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Iso-scale architectures — average speedup over 4-4 (predicted vs actual)")
+	fmt.Fprintf(w, "%-8s%12s%12s\n", "arch", "predicted", "actual")
+	for i, n := range f.Names {
+		fmt.Fprintf(w, "%-8s%12.2f%12.2f\n", n, f.Predicted[i], f.Actual[i])
+	}
+	fmt.Fprintf(w, "predicted best: %s; actual best: %s\n", f.PredictedBest, f.ActualBest)
+}

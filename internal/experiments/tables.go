@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/arch"
+	"repro/internal/gen"
+)
+
+// TableVIResult holds the absolute simulated runtimes for SPADE-Sextans
+// (scale 4) in milliseconds, the paper's Table VI layout.
+type TableVIResult struct {
+	Rows []TableVIRow
+}
+
+// TableVIRow is one matrix's runtimes in milliseconds.
+type TableVIRow struct {
+	Short                                          string
+	HotOnly, ColdOnly, BestHom, IUnaware, HotTiles float64
+}
+
+// TableVI reproduces the absolute-runtime table.
+func (e *Env) TableVI() (*TableVIResult, error) {
+	a := arch.SpadeSextans(4)
+	out := &TableVIResult{}
+	for _, b := range gen.Benchmarks() {
+		ho, err := e.exec(a, b, StratHotOnly, 2)
+		if err != nil {
+			return nil, err
+		}
+		co, err := e.exec(a, b, StratColdOnly, 2)
+		if err != nil {
+			return nil, err
+		}
+		iu, err := e.exec(a, b, StratIUnaware, 2)
+		if err != nil {
+			return nil, err
+		}
+		ht, err := e.exec(a, b, StratHotTiles, 2)
+		if err != nil {
+			return nil, err
+		}
+		row := TableVIRow{
+			Short:    b.Short,
+			HotOnly:  ho.Time * 1e3,
+			ColdOnly: co.Time * 1e3,
+			IUnaware: iu.Time * 1e3,
+			HotTiles: ht.Time * 1e3,
+		}
+		row.BestHom = row.HotOnly
+		if row.ColdOnly < row.BestHom {
+			row.BestHom = row.ColdOnly
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Render prints Table VI.
+func (t *TableVIResult) Render(w io.Writer) {
+	fmt.Fprintln(w, "Runtime in ms for SPADE-Sextans (scale 4)")
+	fmt.Fprintf(w, "%-8s%10s%10s%10s%10s%10s\n",
+		"matrix", "HotOnly", "ColdOnly", "BestHom", "IUnaware", "HotTiles")
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "%-8s%10.3f%10.3f%10.3f%10.3f%10.3f\n",
+			r.Short, r.HotOnly, r.ColdOnly, r.BestHom, r.IUnaware, r.HotTiles)
+	}
+}
+
+// TableVIIResult reports the architecture utilization statistics of Table
+// VII (geometric means across the suite) for system scales 1 and 4.
+type TableVIIResult struct {
+	Scales []TableVIIScale
+}
+
+// TableVIIScale is one system scale's statistics.
+type TableVIIScale struct {
+	Scale      int
+	Strategies []string
+	// BandwidthGBs, LinesPerNNZ, ColdGFLOPs, HotGFLOPs map strategy name to
+	// the geomean statistic.
+	BandwidthGBs, LinesPerNNZ, ColdGFLOPs, HotGFLOPs map[string]float64
+}
+
+// TableVII reproduces the utilization statistics table.
+func (e *Env) TableVII() (*TableVIIResult, error) {
+	strategies := []string{StratHotOnly, StratColdOnly, StratIUnaware, StratHotTiles}
+	out := &TableVIIResult{}
+	for _, scale := range []int{1, 4} {
+		a := arch.SpadeSextans(scale)
+		sc := TableVIIScale{
+			Scale:        scale,
+			Strategies:   strategies,
+			BandwidthGBs: map[string]float64{},
+			LinesPerNNZ:  map[string]float64{},
+			ColdGFLOPs:   map[string]float64{},
+			HotGFLOPs:    map[string]float64{},
+		}
+		for _, s := range strategies {
+			var bw, lines, cold, hot []float64
+			for _, b := range gen.Benchmarks() {
+				r, err := e.exec(a, b, s, 2)
+				if err != nil {
+					return nil, err
+				}
+				m := e.Matrix(b)
+				bw = append(bw, r.Sim.BandwidthUtil()/1e9)
+				lines = append(lines, r.Sim.CacheLinesPerNNZ(m.NNZ()))
+				// Geomeans need positive values; idle pools report 0
+				// GFLOP/s in the paper's table, rendered below as 0.
+				if g := r.Sim.ColdGFLOPs(); g > 0 {
+					cold = append(cold, g)
+				}
+				if g := r.Sim.HotGFLOPs(); g > 0 {
+					hot = append(hot, g)
+				}
+			}
+			sc.BandwidthGBs[s] = geomean(bw)
+			sc.LinesPerNNZ[s] = geomean(lines)
+			sc.ColdGFLOPs[s] = geomean(cold)
+			sc.HotGFLOPs[s] = geomean(hot)
+		}
+		out.Scales = append(out.Scales, sc)
+	}
+	return out, nil
+}
+
+// Render prints Table VII.
+func (t *TableVIIResult) Render(w io.Writer) {
+	for _, sc := range t.Scales {
+		fmt.Fprintf(w, "System Scale %d (geometric means)\n", sc.Scale)
+		fmt.Fprintf(w, "%-28s", "measure")
+		for _, s := range sc.Strategies {
+			fmt.Fprintf(w, "%12s", s)
+		}
+		fmt.Fprintln(w)
+		row := func(name string, m map[string]float64) {
+			fmt.Fprintf(w, "%-28s", name)
+			for _, s := range sc.Strategies {
+				fmt.Fprintf(w, "%12.2f", m[s])
+			}
+			fmt.Fprintln(w)
+		}
+		row("Bandwidth Util. (GB/s)", sc.BandwidthGBs)
+		row("Cache Lines/Nonzero", sc.LinesPerNNZ)
+		row("SPADE GFLOP/s", sc.ColdGFLOPs)
+		row("Sextans GFLOP/s", sc.HotGFLOPs)
+	}
+}
+
+// TableIXResult is the reconfigurable-architecture scenario: per matrix,
+// the iso-scale architecture HotTiles predicts to be best vs the actually
+// best one, and the speedups over 4-4.
+type TableIXResult struct {
+	Rows []TableIXRow
+	// AvgPredSpeedup/AvgOracleSpeedup are the arithmetic means (as in the
+	// paper's AVG row); Accuracy is the fraction of correct predictions.
+	AvgPredSpeedup, AvgOracleSpeedup float64
+	Accuracy                         float64
+}
+
+// TableIXRow is one matrix's exploration outcome.
+type TableIXRow struct {
+	Short                string
+	PredBest, ActualBest string
+	PredSpeedup          float64 // actual speedup of the predicted-best arch over 4-4
+	OracleSpeedup        float64 // actual speedup of the actually-best arch
+	Correct              bool
+}
+
+// TableIX reproduces the per-matrix architecture-selection table.
+func (e *Env) TableIX() (*TableIXResult, error) {
+	const total = 8
+	out := &TableIXResult{}
+	var predS, oracleS []float64
+	correct := 0
+	for _, b := range gen.Benchmarks() {
+		base, err := e.exec(arch.SpadeSextans(4), b, StratHotTiles, 2)
+		if err != nil {
+			return nil, err
+		}
+		bestPredIdx, bestActIdx := 0, 0
+		var preds, acts []float64
+		for c := 0; c <= total; c++ {
+			a := arch.SpadeSextansSkewed(c, total-c)
+			r, err := e.exec(a, b, StratHotTiles, 2)
+			if err != nil {
+				return nil, err
+			}
+			preds = append(preds, r.Predicted)
+			acts = append(acts, r.Time)
+			if r.Predicted < preds[bestPredIdx] {
+				bestPredIdx = c
+			}
+			if r.Time < acts[bestActIdx] {
+				bestActIdx = c
+			}
+		}
+		row := TableIXRow{
+			Short:         b.Short,
+			PredBest:      fmt.Sprintf("%d-%d", bestPredIdx, total-bestPredIdx),
+			ActualBest:    fmt.Sprintf("%d-%d", bestActIdx, total-bestActIdx),
+			PredSpeedup:   base.Time / acts[bestPredIdx],
+			OracleSpeedup: base.Time / acts[bestActIdx],
+			Correct:       bestPredIdx == bestActIdx,
+		}
+		if row.Correct {
+			correct++
+		}
+		out.Rows = append(out.Rows, row)
+		predS = append(predS, row.PredSpeedup)
+		oracleS = append(oracleS, row.OracleSpeedup)
+	}
+	out.AvgPredSpeedup = mean(predS)
+	out.AvgOracleSpeedup = mean(oracleS)
+	out.Accuracy = float64(correct) / float64(len(out.Rows))
+	return out, nil
+}
+
+// Render prints Table IX.
+func (t *TableIXResult) Render(w io.Writer) {
+	fmt.Fprintln(w, "Predicted and actual best iso-scale architecture per matrix")
+	fmt.Fprintf(w, "%-8s%12s%14s%12s%14s%10s\n",
+		"matrix", "pred best", "pred speedup", "act best", "act speedup", "correct?")
+	for _, r := range t.Rows {
+		c := "N"
+		if r.Correct {
+			c = "Y"
+		}
+		fmt.Fprintf(w, "%-8s%12s%14.2f%12s%14.2f%10s\n",
+			r.Short, r.PredBest, r.PredSpeedup, r.ActualBest, r.OracleSpeedup, c)
+	}
+	fmt.Fprintf(w, "AVG: predicted-choice speedup %.2f, oracle %.2f, accuracy %.0f%%\n",
+		t.AvgPredSpeedup, t.AvgOracleSpeedup, t.Accuracy*100)
+}

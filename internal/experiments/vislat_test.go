@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestVisLatSensitivity(t *testing.T) {
+	e := testEnv()
+	v, err := e.VisLat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Rows) != 5 {
+		t.Fatalf("%d rows", len(v.Rows))
+	}
+	var unit *VisLatRow
+	for i := range v.Rows {
+		r := &v.Rows[i]
+		if r.AvgRuntimeVsBaseline <= 0 {
+			t.Fatalf("factor %.2f: bad ratio", r.Factor)
+		}
+		if r.Factor == 1 {
+			unit = r
+		}
+	}
+	if unit == nil {
+		t.Fatal("missing factor 1 row")
+	}
+	// The unperturbed model reproduces the baseline exactly.
+	if unit.AvgRuntimeVsBaseline != 1 || unit.AvgHotFracDelta != 0 {
+		t.Fatalf("factor 1 row is not the identity: %+v", *unit)
+	}
+	// No perturbation should be able to *improve* on the calibrated model
+	// by more than noise (it plans with wrong numbers).
+	for _, r := range v.Rows {
+		if r.AvgRuntimeVsBaseline < 0.97 {
+			t.Errorf("factor %.2f beat the calibrated model: %.3f", r.Factor, r.AvgRuntimeVsBaseline)
+		}
+	}
+	var buf bytes.Buffer
+	v.Render(&buf)
+	if !strings.Contains(buf.String(), "vis_lat sensitivity") {
+		t.Error("render broken")
+	}
+}

@@ -1,0 +1,70 @@
+package explore
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/sparse"
+)
+
+func testMatrix(seed int64) *sparse.COO {
+	rng := rand.New(rand.NewSource(seed))
+	return gen.BlockCommunity(rng, 1024, 64, 0.5, 4)
+}
+
+func TestIsoScaleSweep(t *testing.T) {
+	entries, err := IsoScale(testMatrix(1), 8, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 9 {
+		t.Fatalf("got %d entries, want 9 (0-8 … 8-0)", len(entries))
+	}
+	for i, e := range entries {
+		if e.ColdScale != i || e.HotScale != 8-i {
+			t.Fatalf("entry %d is %s", i, e.Name())
+		}
+		if e.Predicted <= 0 || e.Actual <= 0 {
+			t.Fatalf("%s: non-positive runtimes %+v", e.Name(), e)
+		}
+	}
+	if entries[0].Name() != "0-8" || entries[8].Name() != "8-0" {
+		t.Fatal("naming wrong")
+	}
+}
+
+func TestIsoScaleDegenerateEndsAreHomogeneous(t *testing.T) {
+	entries, err := IsoScale(testMatrix(2), 4, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range entries[0].Result.Hot { // 0-4: no cold pool
+		if !h {
+			t.Fatalf("0-4 entry has cold tile %d", i)
+		}
+	}
+	for i, h := range entries[len(entries)-1].Result.Hot { // 4-0: no hot pool
+		if h {
+			t.Fatalf("4-0 entry has hot tile %d", i)
+		}
+	}
+}
+
+func TestBest(t *testing.T) {
+	entries := []Entry{
+		{ColdScale: 0, HotScale: 2, Predicted: 3, Actual: 5},
+		{ColdScale: 1, HotScale: 1, Predicted: 1, Actual: 4},
+		{ColdScale: 2, HotScale: 0, Predicted: 2, Actual: 1},
+	}
+	p, a := Best(entries)
+	if p != 1 || a != 2 {
+		t.Fatalf("Best = %d, %d", p, a)
+	}
+}
+
+func TestIsoScaleErrors(t *testing.T) {
+	if _, err := IsoScale(testMatrix(3), 0, 128); err == nil {
+		t.Fatal("expected total-scale error")
+	}
+}

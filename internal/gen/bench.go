@@ -1,0 +1,201 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/sparse"
+)
+
+// Benchmark describes one matrix of the paper's benchmark suites (Tables V
+// and VIII) together with the generator that synthesizes its structural
+// mimic at a requested scale.
+type Benchmark struct {
+	Short  string // the paper's short name, e.g. "pap"
+	Name   string // the SuiteSparse matrix it mimics
+	Domain string // application domain from Table V/VIII
+
+	PaperRows float64 // millions of rows in the original
+	PaperNNZ  float64 // millions of nonzeros in the original
+
+	// Build synthesizes the mimic with rows ≈ PaperRows/scale and the
+	// original's average degree preserved (capped at rows/8 for the
+	// near-dense Table VIII matrices). Deterministic in seed.
+	Build func(seed int64, scale int) *sparse.COO
+}
+
+// AvgDeg returns the original matrix's average nonzeros per row.
+func (b Benchmark) AvgDeg() float64 { return b.PaperNNZ / b.PaperRows }
+
+// rowsAt converts paper-scale millions of rows into a scaled-down dimension,
+// clamped below at 512 so tiny scales still produce a few tiles.
+func rowsAt(paperRowsMillions float64, scale int) int {
+	n := int(paperRowsMillions * 1e6 / float64(scale))
+	if n < 512 {
+		n = 512
+	}
+	return n
+}
+
+// degAt caps the preserved average degree at n/8 so the near-dense mimics
+// stay generatable at small scales.
+func degAt(deg float64, n int) float64 {
+	if max := float64(n) / 8; deg > max {
+		return max
+	}
+	return deg
+}
+
+// Benchmarks returns the ten Table V benchmark mimics in the paper's order.
+func Benchmarks() []Benchmark {
+	return []Benchmark{
+		{
+			Short: "ski", Name: "as-Skitter", Domain: "Internet topology",
+			PaperRows: 1.7, PaperNNZ: 22,
+			Build: func(seed int64, scale int) *sparse.COO {
+				n := rowsAt(1.7, scale)
+				return PowerLaw(rand.New(rand.NewSource(seed)), n, degAt(22.0/1.7, n), 2.3)
+			},
+		},
+		{
+			Short: "pap", Name: "coPapersCiteseer", Domain: "Citation network",
+			PaperRows: 0.4, PaperNNZ: 32,
+			Build: func(seed int64, scale int) *sparse.COO {
+				n := rowsAt(0.4, scale)
+				rng := rand.New(rand.NewSource(seed))
+				return BlockCommunity(rng, n, 96, 0.72, 10)
+			},
+		},
+		{
+			Short: "del", Name: "delaunay_n22", Domain: "Geometry problem",
+			PaperRows: 4.2, PaperNNZ: 25,
+			Build: func(seed int64, scale int) *sparse.COO {
+				n := rowsAt(4.2, scale)
+				side := int(math.Sqrt(float64(n)))
+				return Mesh2D(side, side)
+			},
+		},
+		{
+			Short: "dgr", Name: "dgreen", Domain: "VLSI",
+			PaperRows: 1.2, PaperNNZ: 27,
+			Build: func(seed int64, scale int) *sparse.COO {
+				n := rowsAt(1.2, scale)
+				return Banded(rand.New(rand.NewSource(seed)), n, n/64, int(degAt(27.0/1.2, n)), 0.05)
+			},
+		},
+		{
+			Short: "kro", Name: "kron_g500-logn19", Domain: "Synthetic graph",
+			PaperRows: 0.5, PaperNNZ: 44,
+			Build: func(seed int64, scale int) *sparse.COO {
+				n := rowsAt(0.5, scale)
+				logn := int(math.Round(math.Log2(float64(n))))
+				return RMAT(rand.New(rand.NewSource(seed)), logn, int(degAt(44.0/0.5, 1<<logn)))
+			},
+		},
+		{
+			Short: "myc", Name: "mycielskian17", Domain: "Math",
+			PaperRows: 0.1, PaperNNZ: 100,
+			Build: func(seed int64, scale int) *sparse.COO {
+				// Pick the Mycielskian order whose vertex count 3·2^(k-2)−1
+				// best matches the scaled row target.
+				target := rowsAt(0.1, scale)
+				k := 2 + int(math.Round(math.Log2(float64(target+1)/3)))
+				if k < 5 {
+					k = 5
+				}
+				return Mycielskian(k)
+			},
+		},
+		{
+			Short: "pac", Name: "packing-500x100x100-b050", Domain: "Numerical simulation",
+			PaperRows: 2.1, PaperNNZ: 35,
+			Build: func(seed int64, scale int) *sparse.COO {
+				n := rowsAt(2.1, scale)
+				side := int(math.Cbrt(float64(n)))
+				return Stencil3D(4*side, side/2+1, side/2+1, 1)
+			},
+		},
+		{
+			Short: "ser", Name: "Serena", Domain: "Environ. science",
+			PaperRows: 1.4, PaperNNZ: 64,
+			Build: func(seed int64, scale int) *sparse.COO {
+				n := rowsAt(1.4, scale) / 2
+				side := int(math.Cbrt(float64(n)))
+				return Stencil3D(side, side, side, 2)
+			},
+		},
+		{
+			Short: "pok", Name: "soc-Pokec", Domain: "Social network",
+			PaperRows: 1.6, PaperNNZ: 31,
+			Build: func(seed int64, scale int) *sparse.COO {
+				n := rowsAt(1.6, scale)
+				return PowerLaw(rand.New(rand.NewSource(seed)), n, degAt(31.0/1.6, n), 2.1)
+			},
+		},
+		{
+			Short: "wik", Name: "wiki-topcats", Domain: "Web graph",
+			PaperRows: 1.8, PaperNNZ: 29,
+			Build: func(seed int64, scale int) *sparse.COO {
+				n := rowsAt(1.8, scale)
+				return PowerLaw(rand.New(rand.NewSource(seed)), n, degAt(29.0/1.8, n), 1.9)
+			},
+		},
+	}
+}
+
+// DenseBenchmarks returns the five higher-density Table VIII mimics.
+func DenseBenchmarks() []Benchmark {
+	return []Benchmark{
+		{
+			Short: "gea", Name: "gearbox", Domain: "Aerospace engineering",
+			PaperRows: 0.15, PaperNNZ: 9,
+			Build: func(seed int64, scale int) *sparse.COO {
+				n := rowsAt(0.15, scale)
+				return Banded(rand.New(rand.NewSource(seed)), n, n/128, int(degAt(60, n)), 0.01)
+			},
+		},
+		{
+			Short: "mou", Name: "mouse_gene", Domain: "Molecular biology",
+			PaperRows: 0.05, PaperNNZ: 29,
+			Build: func(seed int64, scale int) *sparse.COO {
+				n := rowsAt(0.05, scale)
+				return DenseBlocks(rand.New(rand.NewSource(seed)), n, 4, degAt(580, n)/float64(n))
+			},
+		},
+		{
+			Short: "nd2", Name: "nd24k", Domain: "2D/3D problem",
+			PaperRows: 0.07, PaperNNZ: 29,
+			Build: func(seed int64, scale int) *sparse.COO {
+				n := rowsAt(0.07, scale)
+				return DenseBlocks(rand.New(rand.NewSource(seed)), n, 8, degAt(414, n)/float64(n))
+			},
+		},
+		{
+			Short: "rm0", Name: "RM07R", Domain: "Comput. dynamics",
+			PaperRows: 0.38, PaperNNZ: 37,
+			Build: func(seed int64, scale int) *sparse.COO {
+				n := rowsAt(0.38, scale)
+				return Banded(rand.New(rand.NewSource(seed)), n, n/96, int(degAt(97, n)), 0.02)
+			},
+		},
+		{
+			Short: "si4", Name: "Si41Ge41H72", Domain: "Quantum chemistry",
+			PaperRows: 0.19, PaperNNZ: 15,
+			Build: func(seed int64, scale int) *sparse.COO {
+				n := rowsAt(0.19, scale)
+				return Banded(rand.New(rand.NewSource(seed)), n, n/64, int(degAt(79, n)), 0.03)
+			},
+		},
+	}
+}
+
+// ByShort returns the benchmark with the given short name from either suite,
+// or false if unknown.
+func ByShort(short string) (Benchmark, bool) {
+	for _, b := range append(Benchmarks(), DenseBenchmarks()...) {
+		if b.Short == short {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}

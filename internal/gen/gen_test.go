@@ -1,0 +1,275 @@
+package gen
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+func validOrFatal(t *testing.T, m *sparse.COO, name string) {
+	t.Helper()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if m.NNZ() == 0 {
+		t.Fatalf("%s: empty matrix", name)
+	}
+}
+
+func TestUniform(t *testing.T) {
+	m := Uniform(rand.New(rand.NewSource(1)), 100, 500)
+	validOrFatal(t, m, "uniform")
+	if m.N != 100 || m.NNZ() > 500 {
+		t.Fatalf("N=%d nnz=%d", m.N, m.NNZ())
+	}
+}
+
+func TestRMATShape(t *testing.T) {
+	m := RMAT(rand.New(rand.NewSource(2)), 8, 8)
+	validOrFatal(t, m, "rmat")
+	if m.N != 256 {
+		t.Fatalf("N = %d, want 256", m.N)
+	}
+	// RMAT must be skewed: the densest row should have far more nonzeros
+	// than the average.
+	counts := m.RowNNZ()
+	max, avg := 0, float64(m.NNZ())/256
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if float64(max) < 3*avg {
+		t.Fatalf("RMAT not skewed: max row %d vs avg %.1f", max, avg)
+	}
+}
+
+func TestPowerLawSkew(t *testing.T) {
+	m := PowerLaw(rand.New(rand.NewSource(3)), 2000, 10, 2.1)
+	validOrFatal(t, m, "powerlaw")
+	counts := m.RowNNZ()
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	avg := float64(m.NNZ()) / 2000
+	if float64(max) < 5*avg {
+		t.Fatalf("power law not skewed: max %d vs avg %.1f", max, avg)
+	}
+	// gamma <= 1 falls back to a sane default rather than diverging.
+	m2 := PowerLaw(rand.New(rand.NewSource(3)), 200, 4, 0.5)
+	validOrFatal(t, m2, "powerlaw-clamped")
+}
+
+func TestMesh2DRegularity(t *testing.T) {
+	m := Mesh2D(20, 20)
+	validOrFatal(t, m, "mesh2d")
+	if m.N != 400 {
+		t.Fatalf("N = %d", m.N)
+	}
+	counts := m.RowNNZ()
+	for r, c := range counts {
+		if c < 3 || c > 7 {
+			t.Fatalf("mesh row %d has %d nonzeros, want 3..7", r, c)
+		}
+	}
+	// Meshes are symmetric.
+	tr := m.Transpose()
+	for i := 0; i < m.NNZ(); i++ {
+		r1, c1, _ := m.At(i)
+		r2, c2, _ := tr.At(i)
+		if r1 != r2 || c1 != c2 {
+			t.Fatal("mesh not symmetric")
+		}
+	}
+}
+
+func TestStencil3D(t *testing.T) {
+	m := Stencil3D(6, 6, 6, 1)
+	validOrFatal(t, m, "stencil")
+	if m.N != 216 {
+		t.Fatalf("N = %d", m.N)
+	}
+	counts := m.RowNNZ()
+	// Interior points have 27 neighbors, corners 8.
+	max, min := 0, 1<<30
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+		if c < min {
+			min = c
+		}
+	}
+	if max != 27 || min != 8 {
+		t.Fatalf("stencil degrees [%d,%d], want [8,27]", min, max)
+	}
+	// Block version multiplies both dimension and degree by the block size.
+	b := Stencil3D(4, 4, 4, 2)
+	validOrFatal(t, b, "block-stencil")
+	if b.N != 128 {
+		t.Fatalf("block N = %d", b.N)
+	}
+}
+
+func TestBanded(t *testing.T) {
+	m := Banded(rand.New(rand.NewSource(4)), 500, 10, 8, 0)
+	validOrFatal(t, m, "banded")
+	// With longRangeFrac=0 every nonzero is within the (wrapped) band.
+	for i := 0; i < m.NNZ(); i++ {
+		r, c, _ := m.At(i)
+		d := int(r) - int(c)
+		if d < 0 {
+			d = -d
+		}
+		if d > 10 && d < 500-10 {
+			t.Fatalf("nonzero (%d,%d) outside band", r, c)
+		}
+	}
+}
+
+func TestBlockCommunityDiagonalConcentration(t *testing.T) {
+	m := BlockCommunity(rand.New(rand.NewSource(5)), 2000, 64, 0.5, 2)
+	validOrFatal(t, m, "blockcommunity")
+	near, far := 0, 0
+	for i := 0; i < m.NNZ(); i++ {
+		r, c, _ := m.At(i)
+		d := int(r) - int(c)
+		if d < 0 {
+			d = -d
+		}
+		if d <= 256 {
+			near++
+		} else {
+			far++
+		}
+	}
+	if near < 4*far {
+		t.Fatalf("communities not diagonal-concentrated: near=%d far=%d", near, far)
+	}
+}
+
+func TestMycielskianSizes(t *testing.T) {
+	// n_k = 3·2^(k-2) − 1 for k ≥ 3 starting from K2 (n_2 = 2).
+	wantN := map[int]int{3: 5, 4: 11, 5: 23, 6: 47}
+	for k, n := range wantN {
+		m := Mycielskian(k)
+		validOrFatal(t, m, "mycielskian")
+		if m.N != n {
+			t.Fatalf("M%d has %d vertices, want %d", k, m.N, n)
+		}
+	}
+	// Triangle-free graphs with growing chromatic number: check symmetry and
+	// zero diagonal.
+	m := Mycielskian(6)
+	for i := 0; i < m.NNZ(); i++ {
+		r, c, _ := m.At(i)
+		if r == c {
+			t.Fatal("self loop in Mycielskian")
+		}
+	}
+}
+
+func TestDenseBlocks(t *testing.T) {
+	m := DenseBlocks(rand.New(rand.NewSource(6)), 400, 4, 0.05)
+	validOrFatal(t, m, "denseblocks")
+	if m.Density() < 0.02 {
+		t.Fatalf("density %.4f too low", m.Density())
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := PowerLaw(rand.New(rand.NewSource(42)), 300, 6, 2.1)
+	b := PowerLaw(rand.New(rand.NewSource(42)), 300, 6, 2.1)
+	if a.NNZ() != b.NNZ() {
+		t.Fatal("power law not deterministic")
+	}
+	for i := 0; i < a.NNZ(); i++ {
+		r1, c1, v1 := a.At(i)
+		r2, c2, v2 := b.At(i)
+		if r1 != r2 || c1 != c2 || v1 != v2 {
+			t.Fatal("power law not deterministic")
+		}
+	}
+}
+
+func TestBenchmarksSuite(t *testing.T) {
+	suite := Benchmarks()
+	if len(suite) != 10 {
+		t.Fatalf("Table V suite has %d entries, want 10", len(suite))
+	}
+	wantOrder := []string{"ski", "pap", "del", "dgr", "kro", "myc", "pac", "ser", "pok", "wik"}
+	for i, b := range suite {
+		if b.Short != wantOrder[i] {
+			t.Fatalf("suite[%d] = %s, want %s", i, b.Short, wantOrder[i])
+		}
+		if b.AvgDeg() <= 0 {
+			t.Fatalf("%s: bad AvgDeg", b.Short)
+		}
+	}
+}
+
+func TestDenseBenchmarksSuite(t *testing.T) {
+	suite := DenseBenchmarks()
+	if len(suite) != 5 {
+		t.Fatalf("Table VIII suite has %d entries, want 5", len(suite))
+	}
+	wantOrder := []string{"gea", "mou", "nd2", "rm0", "si4"}
+	for i, b := range suite {
+		if b.Short != wantOrder[i] {
+			t.Fatalf("suite[%d] = %s, want %s", i, b.Short, wantOrder[i])
+		}
+	}
+}
+
+func TestBenchmarkBuildsAtTinyScale(t *testing.T) {
+	// Build every mimic at a very coarse scale to keep the test fast, and
+	// verify each produces a valid, structurally plausible matrix.
+	for _, b := range append(Benchmarks(), DenseBenchmarks()...) {
+		b := b
+		t.Run(b.Short, func(t *testing.T) {
+			t.Parallel()
+			m := b.Build(1, 2048)
+			validOrFatal(t, m, b.Short)
+			if m.N < 128 {
+				t.Fatalf("%s: N = %d too small", b.Short, m.N)
+			}
+			if float64(m.NNZ())/float64(m.N) < 1 {
+				t.Fatalf("%s: avg degree %.2f < 1", b.Short, float64(m.NNZ())/float64(m.N))
+			}
+		})
+	}
+}
+
+func TestDenseSuiteIsDenser(t *testing.T) {
+	// The Table VIII set exists because it favors hot workers; its mimics
+	// must have clearly higher density than the Table V set at equal scale.
+	medianDensity := func(suite []Benchmark) float64 {
+		ds := make([]float64, 0, len(suite))
+		for _, b := range suite {
+			m := b.Build(1, 256)
+			ds = append(ds, m.Density())
+		}
+		sort.Float64s(ds)
+		return ds[len(ds)/2]
+	}
+	sparse10 := medianDensity(Benchmarks())
+	dense5 := medianDensity(DenseBenchmarks())
+	if dense5 < 2*sparse10 {
+		t.Fatalf("dense suite density %.2e not clearly above sparse suite %.2e", dense5, sparse10)
+	}
+}
+
+func TestByShort(t *testing.T) {
+	b, ok := ByShort("pap")
+	if !ok || b.Name != "coPapersCiteseer" {
+		t.Fatalf("ByShort(pap) = %+v, %v", b, ok)
+	}
+	if _, ok := ByShort("nope"); ok {
+		t.Fatal("ByShort(nope) should fail")
+	}
+}

@@ -1,0 +1,112 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestRMATQuadrantDistribution: with (a,b,c,d) = (0.57,0.19,0.19,0.05),
+// the top-left quadrant must receive the plurality of nonzeros and the
+// bottom-right the fewest — the Graph500 self-similarity.
+func TestRMATQuadrantDistribution(t *testing.T) {
+	m := RMAT(rand.New(rand.NewSource(1)), 10, 16)
+	half := int32(m.N / 2)
+	var q [4]int
+	for i := 0; i < m.NNZ(); i++ {
+		r, c, _ := m.At(i)
+		idx := 0
+		if r >= half {
+			idx += 2
+		}
+		if c >= half {
+			idx++
+		}
+		q[idx]++
+	}
+	if q[0] <= q[1] || q[0] <= q[2] || q[0] <= q[3] {
+		t.Fatalf("top-left not dominant: %v", q)
+	}
+	if q[3] >= q[1] || q[3] >= q[2] {
+		t.Fatalf("bottom-right not smallest: %v", q)
+	}
+	// Dedup erodes the exact proportions, but top-left should still hold
+	// roughly half the mass.
+	frac := float64(q[0]) / float64(m.NNZ())
+	if frac < 0.35 || frac > 0.75 {
+		t.Fatalf("top-left fraction %.2f implausible", frac)
+	}
+}
+
+// TestPowerLawTail: the degree distribution must have a heavy tail — the
+// top 1% of rows hold a disproportionate share of nonzeros, and the degree
+// sequence spans orders of magnitude.
+func TestPowerLawTail(t *testing.T) {
+	m := PowerLaw(rand.New(rand.NewSource(2)), 8192, 12, 2.1)
+	counts := m.RowNNZ()
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	top := 0
+	cut := len(counts) / 100
+	for _, c := range counts[:cut] {
+		top += c
+	}
+	share := float64(top) / float64(m.NNZ())
+	if share < 0.10 {
+		t.Fatalf("top 1%% of rows hold only %.1f%% of nonzeros", share*100)
+	}
+	if counts[0] < 20*counts[len(counts)/2] && counts[len(counts)/2] > 0 {
+		t.Fatalf("max degree %d vs median %d: tail too light", counts[0], counts[len(counts)/2])
+	}
+}
+
+// TestMycielskianDensityGrowth: each Mycielski iteration increases edge
+// density relative to a comparable random graph — the property that makes
+// myc the hot-favored benchmark.
+func TestMycielskianDensityGrowth(t *testing.T) {
+	var lastDeg float64
+	for k := 5; k <= 9; k++ {
+		m := Mycielskian(k)
+		deg := float64(m.NNZ()) / float64(m.N)
+		if deg <= lastDeg {
+			t.Fatalf("M%d average degree %.1f did not grow (prev %.1f)", k, deg, lastDeg)
+		}
+		lastDeg = deg
+	}
+}
+
+// TestStencilBlockStructure: the block variant produces fully dense
+// blockSize×blockSize coupling blocks.
+func TestStencilBlockStructure(t *testing.T) {
+	m := Stencil3D(3, 3, 3, 2)
+	// Every (point, neighbor) pair contributes a dense 2×2 block, so nnz is
+	// exactly 4× the scalar stencil's.
+	scalar := Stencil3D(3, 3, 3, 1)
+	if m.NNZ() != 4*scalar.NNZ() {
+		t.Fatalf("block nnz %d, want %d", m.NNZ(), 4*scalar.NNZ())
+	}
+}
+
+// TestBandedLongRangeFraction: with longRangeFrac = 0.5 roughly half the
+// off-diagonal entries land outside the band.
+func TestBandedLongRangeFraction(t *testing.T) {
+	n, band := 4096, 16
+	m := Banded(rand.New(rand.NewSource(3)), n, band, 10, 0.5)
+	outside := 0
+	offDiag := 0
+	for i := 0; i < m.NNZ(); i++ {
+		r, c, _ := m.At(i)
+		if r == c {
+			continue
+		}
+		offDiag++
+		d := int(math.Abs(float64(r) - float64(c)))
+		if d > band && d < n-band {
+			outside++
+		}
+	}
+	frac := float64(outside) / float64(offDiag)
+	if frac < 0.3 || frac > 0.7 {
+		t.Fatalf("long-range fraction %.2f, want ≈ 0.5", frac)
+	}
+}

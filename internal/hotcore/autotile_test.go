@@ -1,0 +1,65 @@
+package hotcore
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+)
+
+func TestAutoTileSizePicksFeasibleBest(t *testing.T) {
+	m := testMatrix(t, 31, 1024, 128, 6000, 3000)
+	a := arch.SpadeSextans(4)
+	best, sweep, err := AutoTileSize(m, &a, []int{64, 128, 256, 512}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep) != 4 {
+		t.Fatalf("sweep has %d entries", len(sweep))
+	}
+	var bestPred float64
+	found := false
+	for _, r := range sweep {
+		if !r.Valid {
+			t.Fatalf("size %d unexpectedly invalid", r.TileSize)
+		}
+		if r.TileSize == best {
+			bestPred = r.Predicted
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("winner not in sweep")
+	}
+	for _, r := range sweep {
+		if r.Valid && r.Predicted < bestPred {
+			t.Fatalf("size %d predicts %.3e < winner's %.3e", r.TileSize, r.Predicted, bestPred)
+		}
+	}
+}
+
+func TestAutoTileSizeSkipsScratchpadOverflow(t *testing.T) {
+	m := testMatrix(t, 32, 512, 64, 2000, 1000)
+	a := arch.SpadeSextans(4)
+	// The Sextans scratchpad (scaled) caps the tile width; 1<<20 overflows.
+	best, sweep, err := AutoTileSize(m, &a, []int{1 << 20, 128}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != 128 {
+		t.Fatalf("best = %d, want 128", best)
+	}
+	if sweep[0].Valid || !sweep[1].Valid {
+		t.Fatalf("validity flags wrong: %+v", sweep)
+	}
+}
+
+func TestAutoTileSizeErrors(t *testing.T) {
+	m := testMatrix(t, 33, 256, 32, 500, 300)
+	a := arch.SpadeSextans(4)
+	if _, _, err := AutoTileSize(m, &a, nil, 2); err == nil {
+		t.Fatal("expected no-candidates error")
+	}
+	if _, _, err := AutoTileSize(m, &a, []int{1 << 20, -3}, 2); err == nil {
+		t.Fatal("expected no-feasible error")
+	}
+}

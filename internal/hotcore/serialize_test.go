@@ -1,0 +1,100 @@
+package hotcore
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+)
+
+func TestPlanRoundTrip(t *testing.T) {
+	m := testMatrix(t, 51, 512, 64, 3000, 1500)
+	a := smallArch()
+	p, err := Preprocess(m, &a, StrategyHotTiles, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WritePlan(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPlan(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Grid.NNZ() != p.Grid.NNZ() || back.Grid.N != p.Grid.N {
+		t.Fatal("grid changed")
+	}
+	if len(back.Partition.Hot) != len(p.Partition.Hot) {
+		t.Fatal("assignment changed length")
+	}
+	for i := range p.Partition.Hot {
+		if back.Partition.Hot[i] != p.Partition.Hot[i] {
+			t.Fatal("assignment changed")
+		}
+	}
+	if back.Partition.Predicted != p.Partition.Predicted ||
+		back.Partition.Heuristic != p.Partition.Heuristic ||
+		back.Partition.Serial != p.Partition.Serial {
+		t.Fatal("partition metadata changed")
+	}
+	if back.Hot.NNZ() != p.Hot.NNZ() || back.Cold.NNZ() != p.Cold.NNZ() {
+		t.Fatal("formats changed")
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanRoundTripPIUMACSR(t *testing.T) {
+	m := testMatrix(t, 52, 512, 64, 2000, 1000)
+	a := arch.PIUMA()
+	a.TileH, a.TileW = 64, 64
+	p, err := Preprocess(m, &a, StrategyHotTiles, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WritePlan(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPlan(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ColdCSR == nil || back.ColdCSR.NNZ() != p.ColdCSR.NNZ() {
+		t.Fatal("CSR cold section lost")
+	}
+	if !back.Hot.CSR {
+		t.Fatal("CSR flag lost")
+	}
+}
+
+func TestReadPlanRejectsGarbage(t *testing.T) {
+	if _, err := ReadPlan(strings.NewReader("not a gob stream")); err == nil {
+		t.Fatal("expected decode error")
+	}
+	if err := WritePlan(&bytes.Buffer{}, nil); err == nil {
+		t.Fatal("expected nil-plan error")
+	}
+}
+
+func TestReadPlanRejectsCorruptedGrid(t *testing.T) {
+	m := testMatrix(t, 53, 256, 32, 800, 400)
+	a := smallArch()
+	p, err := Preprocess(m, &a, StrategyHotTiles, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the in-memory plan, serialize, and expect the load-time
+	// validation to refuse it.
+	p.Grid.Rows[p.Grid.Tiles[0].Start] = int32(p.Grid.N - 1)
+	var buf bytes.Buffer
+	if err := WritePlan(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadPlan(&buf); err == nil {
+		t.Fatal("expected grid validation error")
+	}
+}

@@ -1,0 +1,49 @@
+package mm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead exercises the MatrixMarket parser with arbitrary input: it must
+// never panic, and anything it accepts must round-trip through Write/Read
+// to an identical matrix.
+func FuzzRead(f *testing.F) {
+	f.Add("%%MatrixMarket matrix coordinate real general\n3 3 2\n1 1 2.5\n3 2 -1\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern symmetric\n2 2 1\n2 1\n")
+	f.Add("%%MatrixMarket matrix coordinate integer skew-symmetric\n4 4 1\n2 1 3\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n1 1 0\n")
+	f.Add("")
+	f.Add("%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n% comment\n\n1 2 9\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		m, err := Read(strings.NewReader(input))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("accepted matrix fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, m); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if back.N != m.N || back.NNZ() != m.NNZ() {
+			t.Fatalf("round trip changed shape: %dx%d vs %dx%d",
+				m.N, m.NNZ(), back.N, back.NNZ())
+		}
+		for i := 0; i < m.NNZ(); i++ {
+			r1, c1, v1 := m.At(i)
+			r2, c2, v2 := back.At(i)
+			if r1 != r2 || c1 != c2 || v1 != v2 {
+				t.Fatalf("round trip changed entry %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,197 @@
+// Package mm reads and writes the MatrixMarket exchange format (Boisvert et
+// al.), the on-disk format the HotTiles host software ingests (paper
+// §VI-B). It supports the coordinate layout with real, integer, and pattern
+// fields, and general/symmetric/skew-symmetric symmetry. Only square
+// matrices are accepted, matching the paper's SpMM setting.
+package mm
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/sparse"
+)
+
+// Symmetry describes the MatrixMarket symmetry qualifier.
+type Symmetry int
+
+const (
+	General Symmetry = iota
+	Symmetric
+	SkewSymmetric
+)
+
+func (s Symmetry) String() string {
+	switch s {
+	case Symmetric:
+		return "symmetric"
+	case SkewSymmetric:
+		return "skew-symmetric"
+	default:
+		return "general"
+	}
+}
+
+// header is the parsed "%%MatrixMarket ..." banner.
+type header struct {
+	object, format, field string
+	symmetry              Symmetry
+}
+
+func parseHeader(line string) (header, error) {
+	fields := strings.Fields(strings.ToLower(line))
+	if len(fields) != 5 || fields[0] != "%%matrixmarket" {
+		return header{}, fmt.Errorf("mm: malformed banner %q", line)
+	}
+	h := header{object: fields[1], format: fields[2], field: fields[3]}
+	if h.object != "matrix" {
+		return header{}, fmt.Errorf("mm: unsupported object %q", h.object)
+	}
+	if h.format != "coordinate" {
+		return header{}, fmt.Errorf("mm: unsupported format %q (only coordinate)", h.format)
+	}
+	switch h.field {
+	case "real", "integer", "pattern":
+	default:
+		return header{}, fmt.Errorf("mm: unsupported field %q", h.field)
+	}
+	switch fields[4] {
+	case "general":
+		h.symmetry = General
+	case "symmetric":
+		h.symmetry = Symmetric
+	case "skew-symmetric":
+		h.symmetry = SkewSymmetric
+	default:
+		return header{}, fmt.Errorf("mm: unsupported symmetry %q", fields[4])
+	}
+	return h, nil
+}
+
+// Read parses a MatrixMarket coordinate stream into a row-major,
+// deduplicated COO. Symmetric and skew-symmetric inputs are expanded to
+// their full general form. Pattern matrices get value 1 for every entry.
+func Read(r io.Reader) (*sparse.COO, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+
+	if !sc.Scan() {
+		return nil, fmt.Errorf("mm: empty input: %w", firstErr(sc.Err(), io.ErrUnexpectedEOF))
+	}
+	h, err := parseHeader(sc.Text())
+	if err != nil {
+		return nil, err
+	}
+
+	// Skip comments, find the size line.
+	var rows, cols, nnz int
+	for {
+		if !sc.Scan() {
+			return nil, fmt.Errorf("mm: missing size line: %w", firstErr(sc.Err(), io.ErrUnexpectedEOF))
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if _, err := fmt.Sscan(line, &rows, &cols, &nnz); err != nil {
+			return nil, fmt.Errorf("mm: bad size line %q: %w", line, err)
+		}
+		break
+	}
+	if rows != cols {
+		return nil, fmt.Errorf("mm: non-square matrix %dx%d not supported", rows, cols)
+	}
+	if rows <= 0 || nnz < 0 {
+		return nil, fmt.Errorf("mm: invalid size line: rows=%d nnz=%d", rows, nnz)
+	}
+
+	capHint := nnz
+	if h.symmetry != General {
+		capHint *= 2
+	}
+	m := sparse.NewCOO(rows, capHint)
+	read := 0
+	for read < nnz {
+		if !sc.Scan() {
+			return nil, fmt.Errorf("mm: expected %d entries, got %d: %w",
+				nnz, read, firstErr(sc.Err(), io.ErrUnexpectedEOF))
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		wantFields := 3
+		if h.field == "pattern" {
+			wantFields = 2
+		}
+		if len(fields) < wantFields {
+			return nil, fmt.Errorf("mm: entry %d malformed: %q", read, line)
+		}
+		ri, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("mm: entry %d row: %w", read, err)
+		}
+		ci, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("mm: entry %d col: %w", read, err)
+		}
+		v := 1.0
+		if h.field != "pattern" {
+			v, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("mm: entry %d value: %w", read, err)
+			}
+		}
+		// MatrixMarket is 1-indexed.
+		r0, c0 := int32(ri-1), int32(ci-1)
+		if r0 < 0 || int(r0) >= rows || c0 < 0 || int(c0) >= rows {
+			return nil, fmt.Errorf("mm: entry %d (%d,%d) out of range for N=%d", read, ri, ci, rows)
+		}
+		m.Append(r0, c0, v)
+		if h.symmetry != General && r0 != c0 {
+			mv := v
+			if h.symmetry == SkewSymmetric {
+				mv = -v
+			}
+			m.Append(c0, r0, mv)
+		}
+		read++
+	}
+	m.SortRowMajor()
+	m.DedupSum()
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("mm: parsed matrix invalid: %w", err)
+	}
+	return m, nil
+}
+
+// Write emits m as a general real coordinate MatrixMarket stream.
+func Write(w io.Writer, m *sparse.COO) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "%%MatrixMarket matrix coordinate real general"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", m.N, m.N, m.NNZ()); err != nil {
+		return err
+	}
+	for i := 0; i < m.NNZ(); i++ {
+		r, c, v := m.At(i)
+		if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", r+1, c+1, v); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

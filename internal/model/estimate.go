@@ -1,0 +1,206 @@
+package model
+
+import (
+	"math"
+
+	"repro/internal/tile"
+)
+
+// Estimate is the model's prediction for one (tile, worker-type) pair: the
+// tile's standalone execution time on one worker of that type (th_i / tc_i
+// in §V-A) and its main-memory traffic (bh_i / bc_i).
+type Estimate struct {
+	Time  float64 // seconds, ignoring bandwidth contention
+	Bytes float64 // bytes read+written from main memory
+}
+
+// Params bundles the workload parameters shared by all estimates.
+type Params struct {
+	K         int     // dense matrix columns (1 for SpMV)
+	OpsPerMAC float64 // 2 for plain SpMM; gSpMM semirings scale it
+	Kernel    Kernel  // zero value is KernelSpMM
+}
+
+// taskBytes returns the five tasks' main-memory byte counts for one tile
+// under the worker's reuse configuration (Table I), using the maximum-reuse
+// assumption for inter-tile reuse (charged zero here; see PanelAdjust).
+func taskBytes(w *Worker, t *tile.Tile, g *tile.Grid, p Params) [numTasks]float64 {
+	var b [numTasks]float64
+	nnz := t.NNZ()
+	lo, hi := g.PanelRows(t.TR)
+	panelH := hi - lo
+	tileW := g.TileW
+	if (t.TC+1)*g.TileW > g.N {
+		tileW = g.N - t.TC*g.TileW
+	}
+	rowBytes := float64(p.K * w.ElemBytes)
+
+	b[TaskReadA] = float64(SparseBytesAccessed(w.Format, nnz, panelH, w.IdxBytes, w.ElemBytes))
+	b[TaskReadDin] = float64(DenseRowsAccessed(w.DinReuse, tileW, t.UniqCols, nnz)) * rowBytes
+	doutRows := float64(DenseRowsAccessed(w.DoutReuse, panelH, t.UniqRows, nnz))
+	b[TaskReadDout] = doutRows * rowBytes
+	if p.Kernel == KernelSDDMM {
+		// SDDMM's output is sparse: one scalar per nonzero, no dense rows
+		// written back.
+		b[TaskWriteDout] = float64(nnz * w.ElemBytes)
+	} else {
+		b[TaskWriteDout] = doutRows * rowBytes
+	}
+	b[TaskCompute] = 0
+	return b
+}
+
+// combine folds per-task times through the worker's overlap groups: max
+// within a group, sum across groups (§IV-B).
+func combine(w *Worker, times [numTasks]float64) float64 {
+	total := 0.0
+	for _, group := range w.OverlapGroups {
+		m := 0.0
+		for _, t := range group {
+			if times[t] > m {
+				m = times[t]
+			}
+		}
+		total += m
+	}
+	return total
+}
+
+// EstimateTile predicts the execution time and memory traffic of tile t on
+// a single worker of type w (paper §IV-A/B). Bandwidth contention is
+// deliberately ignored; the partitioner accounts for it via the bytes.
+func EstimateTile(w *Worker, t *tile.Tile, g *tile.Grid, p Params) Estimate {
+	bytes := taskBytes(w, t, g, p)
+	var times [numTasks]float64
+	total := 0.0
+	for task, by := range bytes {
+		times[task] = by * w.VisLatPerByte
+		total += by
+	}
+	times[TaskCompute] = w.ComputeTime(t.NNZ(), p.K, p.OpsPerMAC)
+	return Estimate{Time: combine(w, times), Bytes: total}
+}
+
+// EstimateGrid evaluates EstimateTile for every tile of the grid, returning
+// a slice indexed like g.Tiles.
+func EstimateGrid(w *Worker, g *tile.Grid, p Params) []Estimate {
+	out := make([]Estimate, len(g.Tiles))
+	for i := range g.Tiles {
+		out[i] = EstimateTile(w, &g.Tiles[i], g, p)
+	}
+	return out
+}
+
+// PanelAdjust returns the extra Estimate a worker type incurs in row panel
+// tr beyond the maximum-reuse assumption (paper §IV-C): the first tile of
+// its type in the panel cannot reuse Dout rows from a previous tile.
+// keep selects which tiles of the panel (by position) are assigned to this
+// worker type; a nil keep means all of them. The readjustment charges:
+//
+//   - tiled streamers (Dout inter-tile, Figure 6(b)): one full stream-in and
+//     stream-out of the panel's tile_height Dout rows;
+//   - untiled workers (Dout inter-tile, Figure 6(a)): one read and one write
+//     of each distinct r_id among the worker's assigned nonzeros.
+//
+// Workers whose Dout reuse is not inter-tile need no adjustment.
+func PanelAdjust(w *Worker, g *tile.Grid, tr int, keep func(i int) bool, p Params) Estimate {
+	if w.DoutReuse != ReuseInter {
+		return Estimate{}
+	}
+	any := false
+	if keep == nil {
+		any = len(g.Panel(tr)) > 0
+	} else {
+		for i := range g.Panel(tr) {
+			if keep(i) {
+				any = true
+				break
+			}
+		}
+	}
+	if !any {
+		return Estimate{}
+	}
+	var rows int
+	if w.TiledTraversal {
+		lo, hi := g.PanelRows(tr)
+		rows = hi - lo
+	} else {
+		rows = g.PanelUniqRows(tr, keep)
+	}
+	// SpMM read-modify-writes the panel's Dout rows once; SDDMM only reads
+	// its U rows (the sparse output is charged per tile).
+	passes := 2
+	if p.Kernel == KernelSDDMM {
+		passes = 1
+	}
+	bytes := float64(passes*rows) * float64(p.K*w.ElemBytes)
+	return Estimate{Time: bytes * w.VisLatPerByte, Bytes: bytes}
+}
+
+// expectedUniq returns the expected number of distinct ids hit by nnz
+// uniformly random draws over dim slots: dim·(1 − (1 − 1/dim)^nnz). It is
+// the uniform-distribution assumption the IMH-unaware model makes (§III-B,
+// following AESPA).
+func expectedUniq(dim int, nnz float64) float64 {
+	if dim <= 0 {
+		return 0
+	}
+	d := float64(dim)
+	return d * (1 - math.Pow(1-1/d, nnz))
+}
+
+// WholeMatrix predicts a single worker's execution time and traffic for the
+// entire matrix assuming uniformly distributed nonzeros — the holistic,
+// IMH-unaware estimate of §III-B. n and nnz describe the matrix; tileH and
+// tileW the tiling the worker would use.
+func WholeMatrix(w *Worker, n, nnz, tileH, tileW int, p Params) Estimate {
+	numTR := (n + tileH - 1) / tileH
+	numTC := (n + tileW - 1) / tileW
+	numTiles := float64(numTR) * float64(numTC)
+	nnzPerTile := float64(nnz) / numTiles
+	rowBytes := float64(p.K * w.ElemBytes)
+
+	var b [numTasks]float64
+	b[TaskReadA] = float64(SparseBytesAccessed(w.Format, nnz, n, w.IdxBytes, w.ElemBytes))
+
+	switch w.DinReuse {
+	case ReuseNone:
+		b[TaskReadDin] = float64(nnz) * rowBytes
+	case ReuseIntraStream:
+		b[TaskReadDin] = numTiles * float64(tileW) * rowBytes
+	case ReuseIntraDemand:
+		b[TaskReadDin] = numTiles * expectedUniq(tileW, nnzPerTile) * rowBytes
+	case ReuseInter:
+		// One pass over Din per row panel under maximum inter-tile reuse.
+		b[TaskReadDin] = float64(numTR) * float64(n) * rowBytes
+	}
+
+	var doutRows float64
+	switch w.DoutReuse {
+	case ReuseNone:
+		doutRows = float64(nnz)
+	case ReuseIntraStream:
+		doutRows = numTiles * float64(tileH)
+	case ReuseIntraDemand:
+		doutRows = numTiles * expectedUniq(tileH, nnzPerTile)
+	case ReuseInter:
+		// Each panel touches its tile_height rows once: N rows total.
+		doutRows = float64(n)
+	}
+	b[TaskReadDout] = doutRows * rowBytes
+	if p.Kernel == KernelSDDMM {
+		b[TaskWriteDout] = float64(nnz * w.ElemBytes)
+	} else {
+		b[TaskWriteDout] = doutRows * rowBytes
+	}
+
+	var times [numTasks]float64
+	total := 0.0
+	for task, by := range b {
+		times[task] = by * w.VisLatPerByte
+		total += by
+	}
+	times[TaskCompute] = w.ComputeTime(nnz, p.K, p.OpsPerMAC)
+	return Estimate{Time: combine(w, times), Bytes: total}
+}

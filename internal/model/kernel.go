@@ -1,0 +1,52 @@
+package model
+
+import "fmt"
+
+// Kernel selects the sparse kernel being modeled. The paper's §X notes that
+// HotTiles applies directly to SpMV and SDDMM, which share SpMM's access
+// pattern; this implementation supports all three end to end.
+type Kernel int
+
+const (
+	// KernelSpMM: Dout[N×K] += A[N×N] · Din[N×K]. Each nonzero reads a Din
+	// row (by c_id) and read-modify-writes a Dout row (by r_id).
+	KernelSpMM Kernel = iota
+	// KernelSpMV is SpMM with K = 1 (a dense vector). It is modeled
+	// identically; callers set Params.K = 1.
+	KernelSpMV
+	// KernelSDDMM: Out[r,c] = A[r,c] · ⟨U[r,:], V[c,:]⟩ for every nonzero
+	// of A. Each nonzero reads a V row (by c_id, like SpMM's Din) and a U
+	// row (by r_id, like SpMM's Dout read), but the output is *sparse*:
+	// one value per nonzero is written instead of dense rows.
+	KernelSDDMM
+)
+
+func (k Kernel) String() string {
+	switch k {
+	case KernelSpMM:
+		return "SpMM"
+	case KernelSpMV:
+		return "SpMV"
+	case KernelSDDMM:
+		return "SDDMM"
+	default:
+		return fmt.Sprintf("Kernel(%d)", int(k))
+	}
+}
+
+// Validate rejects unknown kernels and inconsistent parameters.
+func (p Params) Validate() error {
+	if p.K <= 0 || p.OpsPerMAC <= 0 {
+		return fmt.Errorf("model: invalid params K=%d ops=%g", p.K, p.OpsPerMAC)
+	}
+	switch p.Kernel {
+	case KernelSpMM, KernelSDDMM:
+	case KernelSpMV:
+		if p.K != 1 {
+			return fmt.Errorf("model: SpMV requires K=1, got %d", p.K)
+		}
+	default:
+		return fmt.Errorf("model: unknown kernel %d", int(p.Kernel))
+	}
+	return nil
+}

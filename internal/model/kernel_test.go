@@ -1,0 +1,80 @@
+package model
+
+import "testing"
+
+func TestParamsValidate(t *testing.T) {
+	good := Params{K: 32, OpsPerMAC: 2}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []Params{
+		{K: 0, OpsPerMAC: 2},
+		{K: 32, OpsPerMAC: 0},
+		{K: 32, OpsPerMAC: 2, Kernel: Kernel(42)},
+		{K: 32, OpsPerMAC: 2, Kernel: KernelSpMV}, // SpMV needs K=1
+	}
+	for i, p := range cases {
+		if p.Validate() == nil {
+			t.Errorf("case %d: expected error for %+v", i, p)
+		}
+	}
+	if err := (Params{K: 1, OpsPerMAC: 2, Kernel: KernelSpMV}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Params{K: 16, OpsPerMAC: 2, Kernel: KernelSDDMM}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSDDMMWriteBytesArePerNonzero(t *testing.T) {
+	g := fig3Grid(t)
+	w := testWorker(Cold)
+	w.DoutReuse = ReuseIntraDemand
+	spmm := Params{K: 8, OpsPerMAC: 2}
+	sddmm := Params{K: 8, OpsPerMAC: 2, Kernel: KernelSDDMM}
+
+	// Tile 1 of fig3Grid has 5 nonzeros over 3 unique rows.
+	bS := taskBytes(w, &g.Tiles[1], g, spmm)
+	bD := taskBytes(w, &g.Tiles[1], g, sddmm)
+	// Reads are identical (A, Din/V rows, Dout/U rows)...
+	if bS[TaskReadA] != bD[TaskReadA] || bS[TaskReadDin] != bD[TaskReadDin] ||
+		bS[TaskReadDout] != bD[TaskReadDout] {
+		t.Fatal("SDDMM read traffic must match SpMM's")
+	}
+	// ...but SpMM writes 3 dense rows while SDDMM writes 5 scalars.
+	wantSpMM := float64(3 * spmm.K * w.ElemBytes)
+	wantSDDMM := float64(5 * w.ElemBytes)
+	if bS[TaskWriteDout] != wantSpMM {
+		t.Fatalf("SpMM write = %g, want %g", bS[TaskWriteDout], wantSpMM)
+	}
+	if bD[TaskWriteDout] != wantSDDMM {
+		t.Fatalf("SDDMM write = %g, want %g", bD[TaskWriteDout], wantSDDMM)
+	}
+}
+
+func TestSDDMMPanelAdjustReadsOnly(t *testing.T) {
+	g := fig3Grid(t)
+	w := testWorker(Cold)
+	w.DoutReuse = ReuseInter
+	w.TiledTraversal = true
+	spmm := Params{K: 4, OpsPerMAC: 2}
+	sddmm := Params{K: 4, OpsPerMAC: 2, Kernel: KernelSDDMM}
+	aS := PanelAdjust(w, g, 1, nil, spmm)
+	aD := PanelAdjust(w, g, 1, nil, sddmm)
+	if aD.Bytes*2 != aS.Bytes {
+		t.Fatalf("SDDMM adjust %g should be half of SpMM's %g (read-only)", aD.Bytes, aS.Bytes)
+	}
+}
+
+func TestWholeMatrixSDDMM(t *testing.T) {
+	w := testWorker(Cold)
+	w.DoutReuse = ReuseIntraDemand
+	p := Params{K: 16, OpsPerMAC: 2}
+	pd := Params{K: 16, OpsPerMAC: 2, Kernel: KernelSDDMM}
+	eS := WholeMatrix(w, 512, 5000, 128, 128, p)
+	eD := WholeMatrix(w, 512, 5000, 128, 128, pd)
+	// SDDMM's sparse output makes it strictly cheaper in traffic here.
+	if eD.Bytes >= eS.Bytes {
+		t.Fatalf("SDDMM whole-matrix bytes %g not below SpMM %g", eD.Bytes, eS.Bytes)
+	}
+}

@@ -1,0 +1,444 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sparse"
+	"repro/internal/tile"
+)
+
+func testWorker(kind WorkerKind) *Worker {
+	return &Worker{
+		Name:          "test",
+		Kind:          kind,
+		Count:         1,
+		FreqHz:        1e9,
+		MACsPerCycle:  1,
+		VisLatPerByte: 1e-9,
+		Format:        FormatCOO,
+		DinReuse:      ReuseNone,
+		DoutReuse:     ReuseIntraDemand,
+		OverlapGroups: FullOverlap(),
+		ElemBytes:     4,
+		IdxBytes:      4,
+	}
+}
+
+func TestTableIDenseRows(t *testing.T) {
+	// Table I, upper subtable.
+	cases := []struct {
+		r          ReuseType
+		dim, uniq  int
+		nnz, wantN int
+	}{
+		{ReuseInter, 8, 3, 5, 0},
+		{ReuseIntraStream, 8, 3, 5, 8},
+		{ReuseIntraDemand, 8, 3, 5, 3},
+		{ReuseNone, 8, 3, 5, 5},
+	}
+	for _, c := range cases {
+		if got := DenseRowsAccessed(c.r, c.dim, c.uniq, c.nnz); got != c.wantN {
+			t.Errorf("%v: rows = %d, want %d", c.r, got, c.wantN)
+		}
+	}
+}
+
+func TestTableISparseItems(t *testing.T) {
+	// Table I, bottom subtable: COO 3·nnz, CSR tile_height + 2·nnz.
+	if got := SparseItemsAccessed(FormatCOO, 10, 4); got != 30 {
+		t.Errorf("COO items = %d, want 30", got)
+	}
+	if got := SparseItemsAccessed(FormatCSR, 10, 4); got != 24 {
+		t.Errorf("CSR items = %d, want 24", got)
+	}
+}
+
+func TestSparseBytes(t *testing.T) {
+	// COO: 2 index items + 1 value per nonzero.
+	if got := SparseBytesAccessed(FormatCOO, 10, 4, 4, 4); got != 120 {
+		t.Errorf("COO bytes = %d, want 120", got)
+	}
+	// CSR: (nnz + height) indices + nnz values.
+	if got := SparseBytesAccessed(FormatCSR, 10, 4, 4, 8); got != (10+4)*4+10*8 {
+		t.Errorf("CSR bytes = %d", got)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if ReuseNone.String() != "none" || ReuseIntraStream.String() != "intra-tile (stream)" ||
+		ReuseIntraDemand.String() != "intra-tile (demand)" || ReuseInter.String() != "inter-tile" {
+		t.Fatal("ReuseType.String broken")
+	}
+	if ReuseType(99).String() == "" || Task(99).String() == "" {
+		t.Fatal("fallback strings empty")
+	}
+	if FormatCOO.String() != "COO-like" || FormatCSR.String() != "CSR-like" {
+		t.Fatal("SparseFormat.String broken")
+	}
+	if Hot.String() != "hot" || Cold.String() != "cold" {
+		t.Fatal("WorkerKind.String broken")
+	}
+	for task := TaskReadA; task < numTasks; task++ {
+		if task.String() == "" {
+			t.Fatalf("task %d has empty name", task)
+		}
+	}
+}
+
+// fig3Grid builds the two tiles of the paper's Figure 3: T1 with a single
+// nonzero and T2 with five nonzeros over three distinct columns.
+func fig3Grid(t *testing.T) *tile.Grid {
+	t.Helper()
+	m := sparse.NewCOO(6, 6)
+	m.Append(0, 0, 1)
+	m.Append(3, 3, 1)
+	m.Append(3, 4, 1)
+	m.Append(4, 4, 1)
+	m.Append(4, 5, 1)
+	m.Append(5, 3, 1)
+	m.SortRowMajor()
+	g, err := tile.Partition(m, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestFig3Motivation reproduces the paper's motivating example: for the
+// sparse tile T1 the cold (demand) worker fetches 1 Din row vs the hot
+// (streaming) worker's 3; for the denser T2 the cold worker fetches 5 rows
+// vs the hot worker's 3.
+func TestFig3Motivation(t *testing.T) {
+	g := fig3Grid(t)
+	cold := testWorker(Cold)
+	cold.DinReuse = ReuseNone
+	hot := testWorker(Hot)
+	hot.DinReuse = ReuseIntraStream
+
+	p := Params{K: 1, OpsPerMAC: 2}
+	rowBytes := float64(p.K * 4)
+
+	dinRows := func(w *Worker, ti int) float64 {
+		b := taskBytes(w, &g.Tiles[ti], g, p)
+		return b[TaskReadDin] / rowBytes
+	}
+	if got := dinRows(cold, 0); got != 1 {
+		t.Errorf("cold T1 Din rows = %g, want 1", got)
+	}
+	if got := dinRows(hot, 0); got != 3 {
+		t.Errorf("hot T1 Din rows = %g, want 3", got)
+	}
+	if got := dinRows(cold, 1); got != 5 {
+		t.Errorf("cold T2 Din rows = %g, want 5", got)
+	}
+	if got := dinRows(hot, 1); got != 3 {
+		t.Errorf("hot T2 Din rows = %g, want 3", got)
+	}
+}
+
+func TestEstimateTileOverlapSemantics(t *testing.T) {
+	g := fig3Grid(t)
+	p := Params{K: 4, OpsPerMAC: 2}
+
+	w := testWorker(Cold)
+	w.OverlapGroups = FullOverlap()
+	full := EstimateTile(w, &g.Tiles[1], g, p)
+
+	w2 := testWorker(Cold)
+	w2.OverlapGroups = NoOverlap()
+	serial := EstimateTile(w2, &g.Tiles[1], g, p)
+
+	if full.Bytes != serial.Bytes {
+		t.Fatalf("overlap must not change traffic: %g vs %g", full.Bytes, serial.Bytes)
+	}
+	if full.Time >= serial.Time {
+		t.Fatalf("full overlap (%.3e) should be faster than serial (%.3e)", full.Time, serial.Time)
+	}
+	// Full overlap equals the max task; serial equals the sum.
+	b := taskBytes(w, &g.Tiles[1], g, p)
+	maxT, sumT := 0.0, w.ComputeTime(5, p.K, p.OpsPerMAC)
+	cmp := w.ComputeTime(5, p.K, p.OpsPerMAC)
+	for _, by := range b {
+		tt := by * w.VisLatPerByte
+		sumT += tt
+		if tt > maxT {
+			maxT = tt
+		}
+	}
+	if cmp > maxT {
+		maxT = cmp
+	}
+	if math.Abs(full.Time-maxT) > 1e-18 || math.Abs(serial.Time-sumT) > 1e-18 {
+		t.Fatalf("overlap math: full %.3e want %.3e; serial %.3e want %.3e",
+			full.Time, maxT, serial.Time, sumT)
+	}
+}
+
+func TestEstimateGridMatchesPerTile(t *testing.T) {
+	g := fig3Grid(t)
+	w := testWorker(Cold)
+	p := Params{K: 8, OpsPerMAC: 2}
+	all := EstimateGrid(w, g, p)
+	if len(all) != len(g.Tiles) {
+		t.Fatal("length mismatch")
+	}
+	for i := range g.Tiles {
+		if all[i] != EstimateTile(w, &g.Tiles[i], g, p) {
+			t.Fatalf("tile %d estimate differs", i)
+		}
+	}
+}
+
+func TestComputeTimeModes(t *testing.T) {
+	w := testWorker(Hot)
+	w.MACsPerCycle = 2
+	w.FreqHz = 1e9
+	// 1000 nonzeros, K=32: 1000 K-wide MACs at 2/cycle = 500 cycles.
+	if got := w.ComputeTime(1000, 32, 2); math.Abs(got-500e-9) > 1e-15 {
+		t.Fatalf("MAC compute time = %g, want 5e-7", got)
+	}
+	// Doubling arithmetic intensity doubles MAC-mode time.
+	if got := w.ComputeTime(1000, 32, 4); math.Abs(got-1000e-9) > 1e-15 {
+		t.Fatalf("scaled compute time = %g, want 1e-6", got)
+	}
+	// NNZPerCycle mode is intensity-independent.
+	w.NNZPerCycle = 20
+	t1 := w.ComputeTime(1000, 32, 2)
+	t2 := w.ComputeTime(1000, 32, 64)
+	if t1 != t2 || math.Abs(t1-1000.0/(20*1e9)) > 1e-18 {
+		t.Fatalf("nnz-rate compute: %g, %g", t1, t2)
+	}
+	if w.ComputeTime(0, 32, 2) != 0 {
+		t.Fatal("zero nnz should cost zero time")
+	}
+}
+
+func TestPeakFLOPs(t *testing.T) {
+	w := testWorker(Hot)
+	w.MACsPerCycle = 20
+	w.FreqHz = 0.8e9
+	if got := w.PeakFLOPs(32, 2); math.Abs(got-20*0.8e9*32*2) > 1 {
+		t.Fatalf("peak = %g", got)
+	}
+	w.NNZPerCycle = 20
+	if got := w.PeakFLOPs(32, 8); math.Abs(got-20*0.8e9*32*8) > 1 {
+		t.Fatalf("nnz-rate peak = %g", got)
+	}
+}
+
+func TestWorkerValidate(t *testing.T) {
+	good := testWorker(Cold)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := *good
+	bad.Count = 0
+	if bad.Validate() == nil {
+		t.Fatal("expected count error")
+	}
+	bad = *good
+	bad.MACsPerCycle, bad.NNZPerCycle = 0, 0
+	if bad.Validate() == nil {
+		t.Fatal("expected compute error")
+	}
+	bad = *good
+	bad.VisLatPerByte = -1
+	if bad.Validate() == nil {
+		t.Fatal("expected vis_lat error")
+	}
+	bad = *good
+	bad.ElemBytes = 0
+	if bad.Validate() == nil {
+		t.Fatal("expected width error")
+	}
+	bad = *good
+	bad.OverlapGroups = [][]Task{{TaskReadA}}
+	if bad.Validate() == nil {
+		t.Fatal("expected coverage error")
+	}
+	bad = *good
+	bad.OverlapGroups = [][]Task{{TaskReadA, TaskReadA}, {TaskReadDin, TaskReadDout, TaskCompute, TaskWriteDout}}
+	if bad.Validate() == nil {
+		t.Fatal("expected duplicate-task error")
+	}
+	bad = *good
+	bad.OverlapGroups = [][]Task{{Task(42)}}
+	if bad.Validate() == nil {
+		t.Fatal("expected unknown-task error")
+	}
+}
+
+func TestPanelAdjust(t *testing.T) {
+	g := fig3Grid(t)
+	p := Params{K: 2, OpsPerMAC: 2}
+
+	// Demand-reuse workers need no adjustment.
+	w := testWorker(Cold)
+	w.DoutReuse = ReuseIntraDemand
+	if a := PanelAdjust(w, g, 0, nil, p); a != (Estimate{}) {
+		t.Fatalf("demand worker adjusted: %+v", a)
+	}
+
+	// Tiled streamer with inter-tile Dout reuse: one read+write of the
+	// panel's tile_height rows.
+	hot := testWorker(Hot)
+	hot.DoutReuse = ReuseInter
+	hot.TiledTraversal = true
+	a := PanelAdjust(hot, g, 1, nil, p)
+	wantBytes := float64(2*3) * float64(p.K*4)
+	if a.Bytes != wantBytes {
+		t.Fatalf("stream adjust bytes = %g, want %g", a.Bytes, wantBytes)
+	}
+	if a.Time != wantBytes*hot.VisLatPerByte {
+		t.Fatalf("stream adjust time = %g", a.Time)
+	}
+
+	// Untiled worker: unique r_ids across its assigned tiles. Panel 1 has
+	// one tile with 3 unique rows.
+	cold := testWorker(Cold)
+	cold.DoutReuse = ReuseInter
+	cold.TiledTraversal = false
+	a = PanelAdjust(cold, g, 1, nil, p)
+	if a.Bytes != float64(2*3)*float64(p.K*4) {
+		t.Fatalf("untiled adjust bytes = %g", a.Bytes)
+	}
+
+	// No tiles assigned to the type in this panel: no adjustment.
+	a = PanelAdjust(cold, g, 1, func(i int) bool { return false }, p)
+	if a != (Estimate{}) {
+		t.Fatalf("empty selection adjusted: %+v", a)
+	}
+	// Empty panel, nil keep: panel 1 of a matrix with nonzeros only in
+	// panel 0.
+	m := sparse.NewCOO(6, 1)
+	m.Append(0, 0, 1)
+	g2, err := tile.Partition(m, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := PanelAdjust(cold, g2, 1, nil, p); a != (Estimate{}) {
+		t.Fatalf("empty panel adjusted: %+v", a)
+	}
+}
+
+func TestExpectedUniq(t *testing.T) {
+	if got := expectedUniq(0, 10); got != 0 {
+		t.Fatalf("dim 0 = %g", got)
+	}
+	if got := expectedUniq(100, 0); got != 0 {
+		t.Fatalf("nnz 0 = %g", got)
+	}
+	// With nnz >> dim the expectation approaches dim.
+	if got := expectedUniq(10, 1e6); math.Abs(got-10) > 1e-6 {
+		t.Fatalf("saturated = %g, want ~10", got)
+	}
+	// With one draw it is exactly 1.
+	if got := expectedUniq(10, 1); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("single draw = %g, want 1", got)
+	}
+	// Monotone in nnz.
+	if expectedUniq(50, 10) >= expectedUniq(50, 20) {
+		t.Fatal("not monotone")
+	}
+}
+
+func TestWholeMatrixUniformAssumption(t *testing.T) {
+	p := Params{K: 32, OpsPerMAC: 2}
+	n, nnz := 1024, 10000
+
+	cold := testWorker(Cold)
+	cold.DinReuse = ReuseNone
+	cold.DoutReuse = ReuseInter
+	e := WholeMatrix(cold, n, nnz, 256, 256, p)
+	// Din: one row per nonzero; Dout: N rows read+written; A: COO.
+	wantDin := float64(nnz) * float64(p.K*4)
+	wantDout := 2 * float64(n) * float64(p.K*4)
+	wantA := float64(SparseBytesAccessed(FormatCOO, nnz, n, 4, 4))
+	if math.Abs(e.Bytes-(wantDin+wantDout+wantA)) > 1 {
+		t.Fatalf("cold whole-matrix bytes = %g, want %g", e.Bytes, wantDin+wantDout+wantA)
+	}
+
+	hot := testWorker(Hot)
+	hot.DinReuse = ReuseIntraStream
+	hot.DoutReuse = ReuseIntraStream
+	e = WholeMatrix(hot, n, nnz, 256, 256, p)
+	numTiles := 16.0
+	wantDin = numTiles * 256 * float64(p.K*4)
+	wantDout = 2 * numTiles * 256 * float64(p.K*4)
+	if math.Abs(e.Bytes-(wantDin+wantDout+wantA)) > 1 {
+		t.Fatalf("hot whole-matrix bytes = %g, want %g", e.Bytes, wantDin+wantDout+wantA)
+	}
+
+	// Demand reuse sits between stream (full tile) and the nnz bound.
+	dem := testWorker(Cold)
+	dem.DinReuse = ReuseIntraDemand
+	dem.DoutReuse = ReuseIntraDemand
+	ed := WholeMatrix(dem, n, nnz, 256, 256, p)
+	if ed.Bytes >= e.Bytes {
+		t.Fatalf("demand (%g) should beat stream (%g) at this sparsity", ed.Bytes, e.Bytes)
+	}
+
+	// Inter-tile Din reuse charges one Din pass per panel — never more than
+	// streaming full tiles everywhere.
+	inter := testWorker(Cold)
+	inter.DinReuse = ReuseInter
+	inter.DoutReuse = ReuseIntraDemand
+	ei := WholeMatrix(inter, n, nnz, 256, 256, p)
+	if ei.Bytes >= e.Bytes {
+		t.Fatalf("inter Din (%g) should not exceed full streaming (%g)", ei.Bytes, e.Bytes)
+	}
+}
+
+// TestMotivationSecondExample follows §III-A's second example: two workers
+// with identical streaming traffic, where the cold one overlaps accesses
+// (hiding latency) and the hot one has more compute. The sparse tile should
+// favor the cold worker and the dense tile the hot worker.
+func TestMotivationSecondExample(t *testing.T) {
+	g := fig3Grid(t)
+	// A heavy gSpMM monoid so the dense tile has real compute weight.
+	p := Params{K: 8, OpsPerMAC: 64}
+
+	cold := testWorker(Cold)
+	cold.DinReuse = ReuseIntraStream
+	cold.OverlapGroups = FullOverlap()
+	cold.MACsPerCycle = 1
+	cold.VisLatPerByte = 0.4e-9 // overlaps memory: low visible latency
+
+	hot := testWorker(Hot)
+	hot.DinReuse = ReuseIntraStream
+	hot.OverlapGroups = FullOverlap()
+	hot.MACsPerCycle = 16 // much higher compute capability
+	hot.VisLatPerByte = 1e-9
+
+	t1cold := EstimateTile(cold, &g.Tiles[0], g, p).Time
+	t1hot := EstimateTile(hot, &g.Tiles[0], g, p).Time
+	t2cold := EstimateTile(cold, &g.Tiles[1], g, p).Time
+	t2hot := EstimateTile(hot, &g.Tiles[1], g, p).Time
+	if t1cold >= t1hot {
+		t.Fatalf("sparse tile should favor cold: cold %.3e vs hot %.3e", t1cold, t1hot)
+	}
+	// The relative gap must shrink for the denser tile (more compute per
+	// byte favors the hot worker).
+	if t2hot/t2cold >= t1hot/t1cold {
+		t.Fatalf("dense tile should shift toward hot: ratios %.3f vs %.3f",
+			t2hot/t2cold, t1hot/t1cold)
+	}
+}
+
+func TestOverlapGroupPresets(t *testing.T) {
+	for name, groups := range map[string][][]Task{
+		"full":   FullOverlap(),
+		"none":   NoOverlap(),
+		"stream": StreamOverlap(),
+	} {
+		w := testWorker(Cold)
+		w.OverlapGroups = groups
+		if err := w.Validate(); err != nil {
+			t.Errorf("%s overlap preset invalid: %v", name, err)
+		}
+	}
+	if len(NoOverlap()) != 5 || len(FullOverlap()) != 1 || len(StreamOverlap()) != 2 {
+		t.Fatal("preset group counts wrong")
+	}
+}

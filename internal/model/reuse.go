@@ -1,0 +1,132 @@
+// Package model implements the paper's IMH-aware analytical performance
+// model (§IV): per-tile main-memory traffic accounting under the four reuse
+// types of Table I, the five-task execution-time model with task
+// overlapping and the data-driven visible-latency-per-byte (vis_lat)
+// parameter, the maximum-reuse assumption with post-assignment readjustment
+// (§IV-C), and the IMH-unaware whole-matrix roofline estimates used by the
+// IUnaware baseline (§III-B).
+package model
+
+import "fmt"
+
+// ReuseType classifies how a worker reuses dense rows while processing a
+// sparse tile (paper Table I).
+type ReuseType int
+
+const (
+	// ReuseNone: every nonzero fetches a dense row from main memory.
+	ReuseNone ReuseType = iota
+	// ReuseIntraStream: the worker streams the full dense tile into its
+	// scratchpad before processing (tile_width rows for Din, tile_height
+	// for Dout), whether or not all rows are needed.
+	ReuseIntraStream
+	// ReuseIntraDemand: rows are fetched on first touch and reused through
+	// registers/caches within the tile; unique ids are charged.
+	ReuseIntraDemand
+	// ReuseInter: rows were already brought in by a previous tile of the
+	// same row panel; nothing is charged per tile. The first tile of each
+	// worker type in a panel is re-charged by the readjustment step.
+	ReuseInter
+)
+
+func (r ReuseType) String() string {
+	switch r {
+	case ReuseNone:
+		return "none"
+	case ReuseIntraStream:
+		return "intra-tile (stream)"
+	case ReuseIntraDemand:
+		return "intra-tile (demand)"
+	case ReuseInter:
+		return "inter-tile"
+	default:
+		return fmt.Sprintf("ReuseType(%d)", int(r))
+	}
+}
+
+// SparseFormat selects the sparse-input compression format (Table I bottom).
+type SparseFormat int
+
+const (
+	// FormatCOO: each nonzero is (r_id, c_id, val) — 3 data items.
+	FormatCOO SparseFormat = iota
+	// FormatCSR: row begin offsets replace per-nonzero r_ids —
+	// 2·nnz + tile_height data items.
+	FormatCSR
+)
+
+func (f SparseFormat) String() string {
+	if f == FormatCSR {
+		return "CSR-like"
+	}
+	return "COO-like"
+}
+
+// Task enumerates the five tasks of an SpMM accelerator worker (paper
+// §IV-B): reading the sparse input, reading the dense input, reading the
+// dense output, executing the SIMD MAC, and writing back the dense output.
+type Task int
+
+const (
+	TaskReadA Task = iota
+	TaskReadDin
+	TaskReadDout
+	TaskCompute
+	TaskWriteDout
+	numTasks
+)
+
+func (t Task) String() string {
+	switch t {
+	case TaskReadA:
+		return "read-A"
+	case TaskReadDin:
+		return "read-Din"
+	case TaskReadDout:
+		return "read-Dout"
+	case TaskCompute:
+		return "compute"
+	case TaskWriteDout:
+		return "write-Dout"
+	default:
+		return fmt.Sprintf("Task(%d)", int(t))
+	}
+}
+
+// DenseRowsAccessed returns the number of dense rows fetched from main
+// memory while processing one tile, per Table I. tileDim is tile_width for
+// Din or tile_height for Dout; uniq is tile_uniq_cids or tile_uniq_rids;
+// nnz is tile_nnzs.
+func DenseRowsAccessed(r ReuseType, tileDim, uniq, nnz int) int {
+	switch r {
+	case ReuseInter:
+		return 0
+	case ReuseIntraStream:
+		return tileDim
+	case ReuseIntraDemand:
+		return uniq
+	default: // ReuseNone
+		return nnz
+	}
+}
+
+// SparseItemsAccessed returns the number of sparse-input data items read
+// from main memory for one tile, per Table I: COO-like 3·nnz, CSR-like
+// 2·nnz + tile_height.
+func SparseItemsAccessed(f SparseFormat, nnz, tileHeight int) int {
+	if f == FormatCSR {
+		return 2*nnz + tileHeight
+	}
+	return 3 * nnz
+}
+
+// SparseBytesAccessed converts Table I data items into bytes: index items
+// are idxBytes wide and values elemBytes wide.
+func SparseBytesAccessed(f SparseFormat, nnz, tileHeight, idxBytes, elemBytes int) int {
+	if f == FormatCSR {
+		// c_ids + row offsets are indices, vals are elements.
+		return (nnz+tileHeight)*idxBytes + nnz*elemBytes
+	}
+	// r_ids + c_ids are indices, vals are elements.
+	return 2*nnz*idxBytes + nnz*elemBytes
+}

@@ -1,0 +1,149 @@
+package model
+
+import "fmt"
+
+// WorkerKind distinguishes the two PE classes of a heterogeneous
+// architecture.
+type WorkerKind int
+
+const (
+	// Hot workers suit compute-bound, denser tiles (paper §III-A).
+	Hot WorkerKind = iota
+	// Cold workers suit memory-bound, sparser tiles.
+	Cold
+)
+
+func (k WorkerKind) String() string {
+	if k == Hot {
+		return "hot"
+	}
+	return "cold"
+}
+
+// Worker captures the architecture traits the model needs for one PE type
+// (the list the user supplies per paper §VI-B): computational throughput,
+// worker count, reuse types, sparse format, task overlap, and the
+// data-driven visible latency per byte.
+type Worker struct {
+	Name string
+	Kind WorkerKind
+	// Count is the number of PEs of this type operating in parallel (N_hw
+	// or N_cw in Equation 2).
+	Count int
+
+	// FreqHz is the PE clock. MACsPerCycle is the number of K-wide SIMD
+	// multiply-accumulates issued per cycle (Table IV's "SIMD MACs/Cycle").
+	// Peak FLOP/s for plain SpMM is 2·K·MACsPerCycle·FreqHz.
+	FreqHz       float64
+	MACsPerCycle float64
+	// NNZPerCycle, when positive, overrides MAC-based compute time: the
+	// worker retires this many nonzeros per cycle regardless of arithmetic
+	// intensity (the enhanced Sextans of the +PCIe architecture, §VII-A).
+	NNZPerCycle float64
+
+	// VisLatPerByte is the visible latency per byte in seconds (§IV-B): the
+	// per-task memory time is bytes × VisLatPerByte. It captures how much
+	// memory latency the worker fails to hide and is set by calibration.
+	VisLatPerByte float64
+
+	// Format is the sparse compression format the worker consumes.
+	Format SparseFormat
+	// DinReuse and DoutReuse are the worker's Table III reuse types.
+	DinReuse, DoutReuse ReuseType
+	// TiledTraversal selects Figure 6(b) (true) or 6(a) (false). It decides
+	// the readjustment semantics for inter-tile Dout reuse: a tiled streamer
+	// re-streams whole tiles, an untiled worker touches unique rows.
+	TiledTraversal bool
+
+	// OverlapGroups partitions the five tasks: tasks within a group overlap
+	// (their times combine with max), groups execute back to back (times
+	// sum). A fully-overlapping worker has one group; a fully serial one has
+	// five.
+	OverlapGroups [][]Task
+
+	// ElemBytes is the storage width of matrix values (4 for the
+	// SPADE-Sextans experiments, 8 for PIUMA); IdxBytes the width of index
+	// items.
+	ElemBytes, IdxBytes int
+
+	// ScratchpadBytes bounds the dense tile a streaming worker can hold; 0
+	// means no scratchpad. Used to validate tile sizes (§IV: tile dims must
+	// not overflow any worker's scratchpad).
+	ScratchpadBytes int
+
+	// MaxStreamBW is the worker pool's aggregate peak memory bandwidth in
+	// bytes/s (e.g. the PCIe link for an off-die Sextans); 0 means limited
+	// only by the shared memory system. Used by the simulator.
+	MaxStreamBW float64
+}
+
+// PeakFLOPs returns the worker's peak FLOP/s for the given K and ops factor
+// (opsPerMAC=2 is plain SpMM; gSpMM semirings scale it).
+func (w *Worker) PeakFLOPs(k int, opsPerMAC float64) float64 {
+	if w.NNZPerCycle > 0 {
+		// Fixed nonzero rate: effective FLOP/s grows with intensity.
+		return w.NNZPerCycle * w.FreqHz * float64(k) * opsPerMAC
+	}
+	return w.MACsPerCycle * w.FreqHz * float64(k) * 2
+}
+
+// ComputeTime returns the time to execute the arithmetic for nnz nonzeros.
+func (w *Worker) ComputeTime(nnz, k int, opsPerMAC float64) float64 {
+	if nnz == 0 {
+		return 0
+	}
+	if w.NNZPerCycle > 0 {
+		return float64(nnz) / (w.NNZPerCycle * w.FreqHz)
+	}
+	flops := float64(nnz) * float64(k) * opsPerMAC
+	return flops / (w.MACsPerCycle * w.FreqHz * float64(k) * 2)
+}
+
+// Validate checks the worker description for consistency.
+func (w *Worker) Validate() error {
+	if w.Count <= 0 {
+		return fmt.Errorf("model: worker %s has count %d", w.Name, w.Count)
+	}
+	if w.FreqHz <= 0 || (w.MACsPerCycle <= 0 && w.NNZPerCycle <= 0) {
+		return fmt.Errorf("model: worker %s has no compute capability", w.Name)
+	}
+	if w.VisLatPerByte < 0 {
+		return fmt.Errorf("model: worker %s has negative vis_lat", w.Name)
+	}
+	if w.ElemBytes <= 0 || w.IdxBytes <= 0 {
+		return fmt.Errorf("model: worker %s has invalid element/index widths", w.Name)
+	}
+	seen := make(map[Task]bool, numTasks)
+	for _, g := range w.OverlapGroups {
+		for _, t := range g {
+			if t < 0 || t >= numTasks {
+				return fmt.Errorf("model: worker %s overlap group references unknown task %d", w.Name, t)
+			}
+			if seen[t] {
+				return fmt.Errorf("model: worker %s task %v in multiple overlap groups", w.Name, t)
+			}
+			seen[t] = true
+		}
+	}
+	if len(seen) != int(numTasks) {
+		return fmt.Errorf("model: worker %s overlap groups cover %d/%d tasks", w.Name, len(seen), numTasks)
+	}
+	return nil
+}
+
+// FullOverlap is the overlap structure of a worker that overlaps all five
+// tasks (execution time = longest task).
+func FullOverlap() [][]Task {
+	return [][]Task{{TaskReadA, TaskReadDin, TaskReadDout, TaskCompute, TaskWriteDout}}
+}
+
+// NoOverlap is the overlap structure of a worker that serializes all tasks.
+func NoOverlap() [][]Task {
+	return [][]Task{{TaskReadA}, {TaskReadDin}, {TaskReadDout}, {TaskCompute}, {TaskWriteDout}}
+}
+
+// StreamOverlap models a scratchpad streamer that overlaps the input
+// streams with compute but serializes the output write-back phase.
+func StreamOverlap() [][]Task {
+	return [][]Task{{TaskReadA, TaskReadDin, TaskReadDout, TaskCompute}, {TaskWriteDout}}
+}

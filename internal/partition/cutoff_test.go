@@ -1,0 +1,165 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+	"repro/internal/sparse"
+	"repro/internal/tile"
+)
+
+// syntheticGrid builds a grid with exactly n single-nonzero tiles so tests
+// can pair it with fabricated estimates.
+func syntheticGrid(t *testing.T, n int) *tile.Grid {
+	t.Helper()
+	m := sparse.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		m.Append(int32(i), int32(i), 1)
+	}
+	g, err := tile.Partition(m, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Tiles) != n {
+		t.Fatalf("%d tiles, want %d", len(g.Tiles), n)
+	}
+	return g
+}
+
+// mkEstimates fabricates per-tile estimates.
+func mkEstimates(times, bytes []float64) []model.Estimate {
+	out := make([]model.Estimate, len(times))
+	for i := range out {
+		out[i] = model.Estimate{Time: times[i], Bytes: bytes[i]}
+	}
+	return out
+}
+
+// TestCutoffRollsBackAtFirstIncrease pins the Figure 8 algorithm: the
+// cutoff advances while the subproblem objective decreases and rolls back
+// one step on the first increase.
+func TestCutoffRollsBackAtFirstIncrease(t *testing.T) {
+	g := syntheticGrid(t, 4)
+	cfg := testConfig()
+	cfg.Hot.Count, cfg.Cold.Count = 1, 1
+
+	// MinTime Serial objective: sum hot + sum cold. Tile hot/cold times
+	// chosen so moving tiles 0 and 1 hot helps (th < tc) and tile 2 hurts.
+	eh := mkEstimates([]float64{1, 2, 9, 9}, []float64{0, 0, 0, 0})
+	ec := mkEstimates([]float64{5, 3, 4, 4}, []float64{0, 0, 0, 0})
+	hot := solveSubproblem(g, &cfg, MinTimeSerial, eh, ec)
+	// Sorted by th−tc: tile 0 (−4), tile 1 (−1), tiles 2/3 (+5). The
+	// objective decreases through the first two and increases at the third.
+	if !hot[0] || !hot[1] || hot[2] || hot[3] {
+		t.Fatalf("assignment = %v, want [true true false false]", hot)
+	}
+}
+
+// TestCutoffMinByteStopsAtSignFlip: for MinByte the objective is b_total,
+// whose delta is exactly bh−bc, so the cutoff lands at the sign flip of the
+// sorted differences.
+func TestCutoffMinByteStopsAtSignFlip(t *testing.T) {
+	g := syntheticGrid(t, 5)
+	cfg := testConfig()
+	eh := mkEstimates(make([]float64, 5), []float64{10, 50, 30, 80, 5})
+	ec := mkEstimates(make([]float64, 5), []float64{40, 40, 40, 40, 40})
+	hot := solveSubproblem(g, &cfg, MinByteParallel, eh, ec)
+	// bh−bc: −30, +10, −10, +40, −35 → hot exactly where negative.
+	want := []bool{true, false, true, false, true}
+	for i := range want {
+		if hot[i] != want[i] {
+			t.Fatalf("tile %d: hot=%v, want %v (full %v)", i, hot[i], want[i], hot)
+		}
+	}
+}
+
+// TestCutoffMinTimeParallelBalances: with equal per-tile costs on both
+// sides, MinTime Parallel splits work proportionally to pool sizes.
+func TestCutoffMinTimeParallelBalances(t *testing.T) {
+	const n = 100
+	g := syntheticGrid(t, n)
+	cfg := testConfig()
+	cfg.Hot.Count, cfg.Cold.Count = 1, 3
+	times := make([]float64, n)
+	zeros := make([]float64, n)
+	for i := range times {
+		times[i] = 1
+	}
+	eh := mkEstimates(times, zeros)
+	ec := mkEstimates(times, zeros)
+	hot := solveSubproblem(g, &cfg, MinTimeParallel, eh, ec)
+	nHot := 0
+	for _, h := range hot {
+		if h {
+			nHot++
+		}
+	}
+	// Balance point: hot pool (1 worker) should take ~1/4 of the tiles.
+	if nHot < n/4-3 || nHot > n/4+3 {
+		t.Fatalf("hot tiles = %d, want ≈ %d", nHot, n/4)
+	}
+}
+
+// Property: the cutoff solution never assigns a tile hot when doing so
+// strictly worsened the objective at the moment it was considered — which
+// implies the produced objective value is never worse than all-cold.
+func TestCutoffNeverWorseThanAllColdProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		times := make([]float64, n)
+		bytes := make([]float64, n)
+		timesC := make([]float64, n)
+		bytesC := make([]float64, n)
+		for i := 0; i < n; i++ {
+			times[i] = rng.Float64()
+			bytes[i] = rng.Float64() * 1e3
+			timesC[i] = rng.Float64()
+			bytesC[i] = rng.Float64() * 1e3
+		}
+		m := sparse.NewCOO(n, n)
+		for i := 0; i < n; i++ {
+			m.Append(int32(i), int32(i), 1)
+		}
+		g, err := tile.Partition(m, 1, 1)
+		if err != nil {
+			return false
+		}
+		cfg := testConfig()
+		eh := mkEstimates(times, bytes)
+		ec := mkEstimates(timesC, bytesC)
+		for _, h := range []Heuristic{MinTimeParallel, MinTimeSerial, MinByteParallel, MinByteSerial} {
+			hot := solveSubproblem(g, &cfg, h, eh, ec)
+			obj := func(assign []bool) float64 {
+				var ht, ct, hb, cb float64
+				for i, isHot := range assign {
+					if isHot {
+						ht += eh[i].Time
+						hb += eh[i].Bytes
+					} else {
+						ct += ec[i].Time
+						cb += ec[i].Bytes
+					}
+				}
+				nhw, ncw := float64(cfg.Hot.Count), float64(cfg.Cold.Count)
+				switch h {
+				case MinTimeParallel:
+					return maxf(ht/nhw, ct/ncw)
+				case MinTimeSerial:
+					return ht/nhw + ct/ncw
+				default:
+					return hb + cb
+				}
+			}
+			if obj(hot) > obj(make([]bool, n))+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

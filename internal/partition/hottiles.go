@@ -1,0 +1,139 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/tile"
+)
+
+// HotTiles runs the full partitioning method of §V-B: solve the four (or,
+// with atomic RMW, two) heuristic subproblems, predict each resulting
+// partitioning's runtime with the readjusted model, and keep the best.
+func HotTiles(g *tile.Grid, cfg Config) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	eh := model.EstimateGrid(cfg.Hot, g, cfg.Params)
+	ec := model.EstimateGrid(cfg.Cold, g, cfg.Params)
+
+	heuristics := []Heuristic{MinTimeParallel, MinByteParallel}
+	if !cfg.AtomicRMW {
+		heuristics = append(heuristics, MinTimeSerial, MinByteSerial)
+	}
+
+	best := Result{Predicted: -1}
+	for _, h := range heuristics {
+		hot := solveSubproblem(g, &cfg, h, eh, ec)
+		t := evaluateTotals(g, &cfg, hot, eh, ec)
+		pred := predictedRuntime(g, &cfg, hot, t, h.Serial())
+		if best.Predicted < 0 || pred < best.Predicted {
+			best = Result{Hot: hot, Heuristic: h, Serial: h.Serial(), Predicted: pred, Totals: t}
+		}
+	}
+	return best, nil
+}
+
+// RunHeuristic forces a single heuristic (used by the Figure 12 study that
+// compares the four heuristics individually across system scales).
+func RunHeuristic(g *tile.Grid, cfg Config, h Heuristic) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	if h < 0 || h >= numHeuristics {
+		return Result{}, fmt.Errorf("partition: unknown heuristic %d", int(h))
+	}
+	eh := model.EstimateGrid(cfg.Hot, g, cfg.Params)
+	ec := model.EstimateGrid(cfg.Cold, g, cfg.Params)
+	hot := solveSubproblem(g, &cfg, h, eh, ec)
+	t := evaluateTotals(g, &cfg, hot, eh, ec)
+	return Result{
+		Hot:       hot,
+		Heuristic: h,
+		Serial:    h.Serial(),
+		Predicted: predictedRuntime(g, &cfg, hot, t, h.Serial()),
+		Totals:    t,
+	}, nil
+}
+
+// solveSubproblem implements the cutoff-index placement of Figure 8: sort
+// tiles by the hot−cold difference of the relevant metric, then advance the
+// cutoff (tiles left of it are hot) while the subproblem objective
+// decreases, rolling back one step on the first increase.
+func solveSubproblem(g *tile.Grid, cfg *Config, h Heuristic, eh, ec []model.Estimate) []bool {
+	n := len(g.Tiles)
+	hot := make([]bool, n)
+	if n == 0 {
+		return hot
+	}
+	// Degenerate pools force a homogeneous assignment (iso-scale 0-8/8-0
+	// architectures of §VIII-B).
+	if cfg.Hot.Count <= 0 {
+		return hot
+	}
+	if cfg.Cold.Count <= 0 {
+		for i := range hot {
+			hot[i] = true
+		}
+		return hot
+	}
+
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	diff := func(i int) float64 {
+		if h.MinimizesBytes() {
+			return eh[i].Bytes - ec[i].Bytes
+		}
+		return eh[i].Time - ec[i].Time
+	}
+	sort.Slice(order, func(a, b int) bool { return diff(order[a]) < diff(order[b]) })
+
+	nhw, ncw := float64(cfg.Hot.Count), float64(cfg.Cold.Count)
+
+	// Incrementally maintained sums for the objective. Start all cold.
+	var hotTime, hotBytes float64
+	var coldTime, coldBytes float64
+	for i := range g.Tiles {
+		coldTime += ec[i].Time
+		coldBytes += ec[i].Bytes
+	}
+
+	objective := func() float64 {
+		switch h {
+		case MinTimeParallel:
+			return maxf(hotTime/nhw, coldTime/ncw)
+		case MinTimeSerial:
+			return hotTime/nhw + coldTime/ncw
+		default: // MinByteParallel, MinByteSerial
+			return hotBytes + coldBytes
+		}
+	}
+
+	cur := objective()
+	cutoff := 0
+	for cutoff < n {
+		i := order[cutoff]
+		hotTime += eh[i].Time
+		hotBytes += eh[i].Bytes
+		coldTime -= ec[i].Time
+		coldBytes -= ec[i].Bytes
+		next := objective()
+		if next >= cur {
+			// Roll back: the algorithm has converged.
+			hotTime -= eh[i].Time
+			hotBytes -= eh[i].Bytes
+			coldTime += ec[i].Time
+			coldBytes += ec[i].Bytes
+			break
+		}
+		cur = next
+		cutoff++
+	}
+	for p := 0; p < cutoff; p++ {
+		hot[order[p]] = true
+	}
+	return hot
+}

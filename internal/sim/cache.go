@@ -1,0 +1,117 @@
+// Package sim is the heterogeneous-accelerator simulator substituting for
+// the paper's SST+DRAMSim3 and Sniper-based PIUMA simulators (§VII-A,
+// DESIGN.md §2). It is a fluid event-driven model: each worker advances
+// through work units (tiles for the hot streamers, row chunks for the cold
+// workers) whose compute-cycle and memory-byte demands are derived from the
+// simulated microarchitecture — including the per-PE caches whose reuse the
+// analytical model deliberately ignores. Memory bandwidth is a shared
+// resource allocated max-min fairly among active workers. The simulator
+// also executes SpMM functionally so every run is checked against the
+// reference kernel.
+package sim
+
+// cache is a set-associative LRU cache model used for the cold workers'
+// Din accesses (SPADE's per-PE L1, PIUMA's MTP cache). The sparse input and
+// Dout bypass it (SPADE's BBF / PIUMA's streaming engines).
+type cache struct {
+	sets     int
+	ways     int
+	lineSize int
+	// tags[set*ways+way] holds the line address + 1 (0 = invalid).
+	tags []uint64
+	// lru[set*ways+way] is the last-use stamp.
+	lru   []uint64
+	clock uint64
+}
+
+// newCache builds a cache of the given total capacity; returns nil when the
+// capacity is zero (cache disabled).
+func newCache(capacityBytes, lineSize int) *cache {
+	if capacityBytes <= 0 || lineSize <= 0 {
+		return nil
+	}
+	const ways = 8
+	lines := capacityBytes / lineSize
+	sets := lines / ways
+	if sets < 1 {
+		sets = 1
+	}
+	return &cache{
+		sets:     sets,
+		ways:     ways,
+		lineSize: lineSize,
+		tags:     make([]uint64, sets*ways),
+		lru:      make([]uint64, sets*ways),
+	}
+}
+
+// access touches the line containing byte address addr and reports whether
+// it hit.
+func (c *cache) access(addr uint64) bool {
+	line := addr / uint64(c.lineSize)
+	set := int(line % uint64(c.sets))
+	base := set * c.ways
+	c.clock++
+	tag := line + 1
+	victim, oldest := base, ^uint64(0)
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.tags[i] == tag {
+			c.lru[i] = c.clock
+			return true
+		}
+		if c.lru[i] < oldest {
+			oldest = c.lru[i]
+			victim = i
+		}
+	}
+	c.tags[victim] = tag
+	c.lru[victim] = c.clock
+	return false
+}
+
+// accessRange touches every line of [addr, addr+n) and returns the number
+// of bytes that missed (whole missing lines).
+func (c *cache) accessRange(addr uint64, n int) int {
+	if c == nil {
+		return n
+	}
+	missed := 0
+	first := addr / uint64(c.lineSize)
+	last := (addr + uint64(n) - 1) / uint64(c.lineSize)
+	for line := first; line <= last; line++ {
+		if !c.access(line * uint64(c.lineSize)) {
+			missed += c.lineSize
+		}
+	}
+	return missed
+}
+
+// missThrough touches [addr, addr+n) through a two-level hierarchy: lines
+// that miss in the private cache probe the shared level, and only lines
+// missing in both are charged to main memory. Either level may be nil.
+func missThrough(private, shared *cache, addr uint64, n int) int {
+	if private == nil && shared == nil {
+		return n
+	}
+	if shared == nil {
+		return private.accessRange(addr, n)
+	}
+	if private == nil {
+		return shared.accessRange(addr, n)
+	}
+	missed := 0
+	ls := uint64(private.lineSize)
+	first := addr / ls
+	last := (addr + uint64(n) - 1) / ls
+	for line := first; line <= last; line++ {
+		la := line * ls
+		if private.access(la) {
+			continue
+		}
+		if !shared.access(la) {
+			missed += private.lineSize
+		}
+	}
+	return missed
+}

@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+)
+
+// TestRunDeterministic: the simulator is a pure function of its inputs —
+// repeated runs produce bit-identical timing and statistics. Determinism is
+// what makes the experiment harness and the calibration search trustworthy.
+func TestRunDeterministic(t *testing.T) {
+	a := scaledArch(arch.SpadeSextans(4), 64)
+	g, res, _ := testSetup(t, &a, 81)
+	first, err := Run(g, res.Hot, &a, nil, Options{SkipFunctional: true, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		again, err := Run(g, res.Hot, &a, nil, Options{SkipFunctional: true, Trace: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.Time != first.Time ||
+			again.HotBytes != first.HotBytes || again.ColdBytes != first.ColdBytes ||
+			again.HotElapsed != first.HotElapsed || again.ColdElapsed != first.ColdElapsed ||
+			again.MergeTime != first.MergeTime {
+			t.Fatalf("run %d diverged: %+v vs %+v", i, again, first)
+		}
+		if len(again.Trace) != len(first.Trace) {
+			t.Fatalf("trace length diverged: %d vs %d", len(again.Trace), len(first.Trace))
+		}
+		for j := range again.Trace {
+			if again.Trace[j].T != first.Trace[j].T || again.Trace[j].BW != first.Trace[j].BW {
+				t.Fatalf("trace point %d diverged", j)
+			}
+		}
+	}
+}
+
+// TestRunSerialUnaffectedByParallelHistory: serial and parallel runs over
+// the same inputs must not share mutable state (fresh pools per run).
+func TestRunModesIndependent(t *testing.T) {
+	a := scaledArch(arch.SpadeSextans(4), 64)
+	g, res, _ := testSetup(t, &a, 82)
+	p1, err := Run(g, res.Hot, &a, nil, Options{SkipFunctional: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(g, res.Hot, &a, nil, Options{Serial: true, SkipFunctional: true}); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Run(g, res.Hot, &a, nil, Options{SkipFunctional: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Time != p2.Time || p1.HotBytes != p2.HotBytes {
+		t.Fatal("interleaved serial run perturbed parallel results")
+	}
+}

@@ -1,0 +1,238 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// phase is one stage of a work unit: compute seconds and memory bytes that
+// proceed concurrently (the engine takes the max). Work-unit generators
+// express non-overlapping stages as separate phases.
+type phase struct {
+	compute float64 // seconds of dedicated compute
+	bytes   float64 // bytes to move to/from main memory
+}
+
+// unit is a schedulable piece of work (a hot tile or a cold row chunk).
+type unit struct {
+	phases []phase
+	flops  float64
+}
+
+// pool is a set of identical workers self-scheduling from a shared unit
+// queue.
+type pool struct {
+	name        string
+	workers     int
+	perWorkerBW float64 // peak streaming bandwidth per worker, bytes/s
+	linkBW      float64 // aggregate cap for the whole pool (e.g. PCIe); 0 = none
+	units       []unit
+}
+
+// poolStats aggregates a pool's observed behavior during a run.
+type poolStats struct {
+	Bytes   float64 // bytes moved to/from main memory
+	Flops   float64
+	Elapsed float64 // time from simulation start until the pool drained
+}
+
+// workerState tracks one worker's progress through its current unit.
+type workerState struct {
+	pool     int
+	unitIdx  int // index into pool.units; -1 when idle with empty queue
+	phaseIdx int
+	remC     float64 // remaining compute seconds
+	remB     float64 // remaining memory bytes
+	grant    float64 // current bandwidth grant, bytes/s
+}
+
+const timeEps = 1e-15
+
+// runEngine simulates the pools sharing totalBW of memory bandwidth and
+// returns the makespan plus per-pool statistics.
+func runEngine(pools []*pool, totalBW float64) (float64, []poolStats, error) {
+	return runEngineTraced(pools, totalBW, nil)
+}
+
+// runEngineTraced is runEngine with an optional bandwidth-timeline tracer.
+func runEngineTraced(pools []*pool, totalBW float64, tr *tracer) (float64, []poolStats, error) {
+	if totalBW <= 0 {
+		return 0, nil, fmt.Errorf("sim: non-positive bandwidth")
+	}
+	stats := make([]poolStats, len(pools))
+	var workers []*workerState
+	next := make([]int, len(pools)) // next unit index per pool
+	for pi, p := range pools {
+		if p.workers < 0 {
+			return 0, nil, fmt.Errorf("sim: pool %s has negative workers", p.name)
+		}
+		for w := 0; w < p.workers; w++ {
+			workers = append(workers, &workerState{pool: pi, unitIdx: -1})
+		}
+		for _, u := range p.units {
+			stats[pi].Flops += u.flops
+		}
+		if len(p.units) > 0 && p.workers == 0 {
+			return 0, nil, fmt.Errorf("sim: pool %s has units but no workers", p.name)
+		}
+	}
+
+	now := 0.0
+	for {
+		// Dispatch idle workers.
+		active := 0
+		for _, w := range workers {
+			if w.unitIdx < 0 {
+				p := pools[w.pool]
+				if next[w.pool] < len(p.units) {
+					w.unitIdx = next[w.pool]
+					next[w.pool]++
+					w.phaseIdx = 0
+					ph := p.units[w.unitIdx].phases[0]
+					w.remC, w.remB = ph.compute, ph.bytes
+				}
+			}
+			if w.unitIdx >= 0 {
+				active++
+			}
+		}
+		if active == 0 {
+			break
+		}
+
+		allocate(workers, pools, totalBW)
+
+		// Earliest next counter completion.
+		dt := math.Inf(1)
+		for _, w := range workers {
+			if w.unitIdx < 0 {
+				continue
+			}
+			if w.remC > 0 && w.remC < dt {
+				dt = w.remC
+			}
+			if w.remB > 0 && w.grant > 0 {
+				if t := w.remB / w.grant; t < dt {
+					dt = t
+				}
+			}
+		}
+		if math.IsInf(dt, 1) {
+			// Only zero-remaining counters: resolve completions below with
+			// dt = 0.
+			dt = 0
+		}
+		tr.record(now, dt, workers, len(pools))
+
+		now += dt
+		for _, w := range workers {
+			if w.unitIdx < 0 {
+				continue
+			}
+			if w.remC > 0 {
+				w.remC -= dt
+				if w.remC < timeEps {
+					w.remC = 0
+				}
+			}
+			if w.remB > 0 && w.grant > 0 {
+				moved := w.grant * dt
+				if moved > w.remB {
+					moved = w.remB
+				}
+				stats[w.pool].Bytes += moved
+				w.remB -= moved
+				if w.remB < timeEps*w.grant || w.remB < 1e-9 {
+					w.remB = 0
+				}
+			}
+			// Phase / unit completion.
+			for w.unitIdx >= 0 && w.remC == 0 && w.remB == 0 {
+				p := pools[w.pool]
+				u := &p.units[w.unitIdx]
+				w.phaseIdx++
+				if w.phaseIdx < len(u.phases) {
+					ph := u.phases[w.phaseIdx]
+					w.remC, w.remB = ph.compute, ph.bytes
+					continue
+				}
+				// Unit drained; record pool progress and fetch the next one.
+				stats[w.pool].Elapsed = now
+				if next[w.pool] < len(p.units) {
+					w.unitIdx = next[w.pool]
+					next[w.pool]++
+					w.phaseIdx = 0
+					first := p.units[w.unitIdx].phases[0]
+					w.remC, w.remB = first.compute, first.bytes
+				} else {
+					w.unitIdx = -1
+				}
+			}
+		}
+	}
+	return now, stats, nil
+}
+
+// allocate grants memory bandwidth max-min fairly: every worker with
+// outstanding bytes demands up to its per-worker peak, pools may carry an
+// aggregate link cap (PCIe), and the total is bounded by the shared memory
+// bandwidth.
+func allocate(workers []*workerState, pools []*pool, totalBW float64) {
+	type claimant struct {
+		w   *workerState
+		cap float64
+	}
+	var cs []claimant
+	// First enforce per-pool link caps by scaling per-worker caps within
+	// the pool when the pool's aggregate demand exceeds its link.
+	demand := make([]float64, len(pools))
+	count := make([]int, len(pools))
+	for _, w := range workers {
+		w.grant = 0
+		if w.unitIdx >= 0 && w.remB > 0 {
+			demand[w.pool] += pools[w.pool].perWorkerBW
+			count[w.pool]++
+		}
+	}
+	for _, w := range workers {
+		if w.unitIdx < 0 || w.remB <= 0 {
+			continue
+		}
+		p := pools[w.pool]
+		cap := p.perWorkerBW
+		if p.linkBW > 0 && demand[w.pool] > p.linkBW {
+			cap = p.linkBW / float64(count[w.pool])
+		}
+		cs = append(cs, claimant{w, cap})
+	}
+	if len(cs) == 0 {
+		return
+	}
+	// Max-min waterfill against totalBW.
+	remaining := totalBW
+	unsat := cs
+	for len(unsat) > 0 && remaining > 0 {
+		share := remaining / float64(len(unsat))
+		var still []claimant
+		progressed := false
+		for _, c := range unsat {
+			need := c.cap - c.w.grant
+			if need <= share {
+				c.w.grant = c.cap
+				remaining -= need
+				progressed = true
+			} else {
+				still = append(still, c)
+			}
+		}
+		if !progressed {
+			// Nobody saturated: split what remains evenly and stop.
+			for _, c := range still {
+				c.w.grant += share
+			}
+			remaining = 0
+			break
+		}
+		unsat = still
+	}
+}

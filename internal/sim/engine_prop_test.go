@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomPools builds a random but well-formed workload.
+func randomPools(rng *rand.Rand) []*pool {
+	npools := 1 + rng.Intn(3)
+	pools := make([]*pool, npools)
+	for p := range pools {
+		pl := &pool{
+			name:        "p",
+			workers:     1 + rng.Intn(4),
+			perWorkerBW: (1 + rng.Float64()*20) * 1e9,
+		}
+		if rng.Intn(3) == 0 {
+			pl.linkBW = (1 + rng.Float64()*10) * 1e9
+		}
+		for u := 0; u < rng.Intn(12); u++ {
+			un := unit{flops: rng.Float64() * 1e6}
+			for ph := 0; ph < 1+rng.Intn(3); ph++ {
+				un.phases = append(un.phases, phase{
+					compute: rng.Float64() * 1e-4,
+					bytes:   rng.Float64() * 1e6,
+				})
+			}
+			pl.units = append(pl.units, un)
+		}
+		pools[p] = pl
+	}
+	return pools
+}
+
+// TestEngineConservationProperty: the engine moves exactly the bytes its
+// units demand, counts exactly their flops, and never finishes faster than
+// physics allows (total bytes over system bandwidth; the largest single
+// unit's compute).
+func TestEngineConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pools := randomPools(rng)
+		totalBW := (10 + rng.Float64()*90) * 1e9
+
+		wantBytes := make([]float64, len(pools))
+		wantFlops := make([]float64, len(pools))
+		sumBytes := 0.0
+		maxUnitTime := 0.0
+		for p, pl := range pools {
+			for _, u := range pl.units {
+				wantFlops[p] += u.flops
+				unitC := 0.0
+				for _, ph := range u.phases {
+					wantBytes[p] += ph.bytes
+					unitC += ph.compute
+				}
+				if unitC > maxUnitTime {
+					maxUnitTime = unitC
+				}
+			}
+			sumBytes += wantBytes[p]
+		}
+
+		tm, stats, err := runEngine(pools, totalBW)
+		if err != nil {
+			return false
+		}
+		for p := range pools {
+			if math.Abs(stats[p].Bytes-wantBytes[p]) > 1e-3*(1+wantBytes[p]) {
+				return false
+			}
+			if stats[p].Flops != wantFlops[p] {
+				return false
+			}
+			if stats[p].Elapsed > tm+1e-12 {
+				return false
+			}
+		}
+		// Physical lower bounds.
+		if tm+1e-9 < sumBytes/totalBW {
+			return false
+		}
+		if tm+1e-12 < maxUnitTime {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineMonotoneInBandwidth: more system bandwidth can never make the
+// makespan longer.
+func TestEngineMonotoneInBandwidth(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() []*pool {
+			r2 := rand.New(rand.NewSource(seed))
+			return randomPools(r2)
+		}
+		_ = rng
+		slow, _, err1 := runEngine(mk(), 20e9)
+		fast, _, err2 := runEngine(mk(), 200e9)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return fast <= slow+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineWorkersSpeedScaling: doubling the workers of a purely
+// compute-bound pool roughly halves its makespan.
+func TestEngineWorkersSpeedScaling(t *testing.T) {
+	mk := func(workers int) *pool {
+		p := &pool{name: "p", workers: workers, perWorkerBW: math.Inf(1)}
+		for i := 0; i < 32; i++ {
+			p.units = append(p.units, unit{phases: []phase{{compute: 1e-3}}})
+		}
+		return p
+	}
+	t1, _, err := runEngine([]*pool{mk(1)}, 1e12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t4, _, err := runEngine([]*pool{mk(4)}, 1e12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(t1/t4-4) > 1e-6 {
+		t.Fatalf("scaling: 1 worker %.4g vs 4 workers %.4g (ratio %.3f)", t1, t4, t1/t4)
+	}
+}

@@ -1,0 +1,256 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/dense"
+	"repro/internal/model"
+	"repro/internal/semiring"
+	"repro/internal/tile"
+)
+
+// Options configures a simulation run.
+type Options struct {
+	// Serial runs the cold pool to completion before the hot pool on a
+	// shared output buffer (no merge); the default is parallel pools with
+	// private buffers merged at the end (unless the architecture's atomic
+	// engine removes the merge).
+	Serial bool
+	// Semiring selects the gSpMM algebra; the zero value means plain
+	// arithmetic SpMM.
+	Semiring *semiring.Semiring
+	// SkipFunctional disables the functional execution (timing only), for
+	// large parameter sweeps where the numeric output is not inspected.
+	SkipFunctional bool
+	// Kernel selects SpMM (zero value), SpMV (K = 1) or SDDMM.
+	Kernel model.Kernel
+	// Trace records the bandwidth timeline into Result.Trace.
+	Trace bool
+}
+
+// Result reports one simulated execution.
+type Result struct {
+	// Time is the end-to-end simulated runtime in seconds, including the
+	// merge when one happens.
+	Time float64
+	// MergeTime is the Merger module's share of Time (zero for serial
+	// execution, atomic-RMW architectures, and homogeneous runs).
+	MergeTime float64
+
+	// HotElapsed/ColdElapsed are each pool's busy span (start until its
+	// last unit drained).
+	HotElapsed, ColdElapsed float64
+	// HotBytes/ColdBytes are main-memory bytes moved by each pool.
+	HotBytes, ColdBytes float64
+	// HotFlops/ColdFlops are the arithmetic operations each pool executed.
+	HotFlops, ColdFlops float64
+
+	// Output is the functional SpMM/SpMV result (nil when SkipFunctional or
+	// for SDDMM).
+	Output *dense.Matrix
+	// SDDMM is the functional SDDMM result: one value per nonzero, aligned
+	// with the grid's tile-ordered nonzero arrays (nil for other kernels).
+	SDDMM []float64
+	// Trace is the bandwidth timeline (only with Options.Trace). Pool 0 is
+	// the cold pool, pool 1 the hot pool; for serial runs the hot segment
+	// is appended after the cold one with shifted timestamps.
+	Trace []TracePoint
+
+	mergeBytes float64
+}
+
+// TotalBytes returns the run's total main-memory traffic, including the
+// merger's.
+func (r *Result) TotalBytes() float64 { return r.HotBytes + r.ColdBytes + r.mergeBytes }
+
+// BandwidthUtil returns the average consumed bandwidth in bytes/s.
+func (r *Result) BandwidthUtil() float64 {
+	if r.Time <= 0 {
+		return 0
+	}
+	return r.TotalBytes() / r.Time
+}
+
+// CacheLinesPerNNZ returns main-memory lines fetched per nonzero (the
+// Table VII statistic) for a 64-byte line.
+func (r *Result) CacheLinesPerNNZ(nnz int) float64 {
+	if nnz == 0 {
+		return 0
+	}
+	return r.TotalBytes() / 64 / float64(nnz)
+}
+
+// HotGFLOPs returns the hot pool's achieved GFLOP/s over its busy span.
+func (r *Result) HotGFLOPs() float64 {
+	if r.HotElapsed <= 0 {
+		return 0
+	}
+	return r.HotFlops / r.HotElapsed / 1e9
+}
+
+// ColdGFLOPs returns the cold pool's achieved GFLOP/s over its busy span.
+func (r *Result) ColdGFLOPs() float64 {
+	if r.ColdElapsed <= 0 {
+		return 0
+	}
+	return r.ColdFlops / r.ColdElapsed / 1e9
+}
+
+// Run simulates executing the partitioned SpMM on architecture a: the hot
+// tiles on the hot pool (tiled traversal) and the rest on the cold pool
+// (untiled chunked traversal), sharing the architecture's memory bandwidth.
+// din must be N×K. The semiring's OpsPerMAC drives both the timing and the
+// functional execution.
+func Run(g *tile.Grid, hot []bool, a *arch.Arch, din *dense.Matrix, opts Options) (*Result, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	if len(hot) != len(g.Tiles) {
+		return nil, fmt.Errorf("sim: assignment length %d, want %d", len(hot), len(g.Tiles))
+	}
+	sr := semiring.PlusTimes()
+	if opts.Semiring != nil {
+		sr = *opts.Semiring
+	}
+	prm := model.Params{K: a.K, OpsPerMAC: sr.OpsPerMAC, Kernel: opts.Kernel}
+	if opts.Kernel == model.KernelSpMV {
+		prm.K = 1
+	}
+	if err := prm.Validate(); err != nil {
+		return nil, err
+	}
+	if !opts.SkipFunctional {
+		if din == nil || din.N != g.N || din.K != prm.K {
+			return nil, fmt.Errorf("sim: Din must be %dx%d", g.N, prm.K)
+		}
+	}
+
+	anyHot, anyCold := false, false
+	for _, h := range hot {
+		if h {
+			anyHot = true
+		} else {
+			anyCold = true
+		}
+	}
+	if anyHot && a.Hot.Count <= 0 {
+		return nil, fmt.Errorf("sim: hot tiles assigned but architecture %s has no hot workers", a.Name)
+	}
+	if anyCold && a.Cold.Count <= 0 {
+		return nil, fmt.Errorf("sim: cold tiles assigned but architecture %s has no cold workers", a.Name)
+	}
+
+	hotPool := buildHotPool(g, hot, a, prm)
+	coldPool := buildColdPool(g, hot, a, prm)
+
+	res := &Result{}
+	var trCold, trHot, trBoth *tracer
+	if opts.Trace {
+		trCold, trHot, trBoth = &tracer{}, &tracer{}, &tracer{}
+	}
+	if opts.Serial {
+		// Cold pool first, then hot, each with the full memory system.
+		tCold, sCold, err := runEngineTraced([]*pool{coldPool}, a.BWBytes, trCold)
+		if err != nil {
+			return nil, err
+		}
+		tHot, sHot, err := runEngineTraced([]*pool{hotPool}, a.BWBytes, trHot)
+		if err != nil {
+			return nil, err
+		}
+		res.Time = tCold + tHot
+		res.ColdElapsed, res.HotElapsed = sCold[0].Elapsed, sHot[0].Elapsed
+		res.ColdBytes, res.HotBytes = sCold[0].Bytes, sHot[0].Bytes
+		res.ColdFlops, res.HotFlops = sCold[0].Flops, sHot[0].Flops
+		if opts.Trace {
+			res.Trace = append(res.Trace, trCold.points...)
+			for _, pt := range trHot.points {
+				pt.T += tCold
+				// Relabel the single serial-hot pool as pool index 1.
+				pt.PoolBW = []float64{0, pt.PoolBW[0]}
+				res.Trace = append(res.Trace, pt)
+			}
+			for i := range res.Trace[:len(trCold.points)] {
+				res.Trace[i].PoolBW = append(res.Trace[i].PoolBW, 0)
+			}
+		}
+	} else {
+		t, stats, err := runEngineTraced([]*pool{coldPool, hotPool}, a.BWBytes, trBoth)
+		if err != nil {
+			return nil, err
+		}
+		if opts.Trace {
+			res.Trace = trBoth.points
+		}
+		res.Time = t
+		res.ColdElapsed, res.HotElapsed = stats[0].Elapsed, stats[1].Elapsed
+		res.ColdBytes, res.HotBytes = stats[0].Bytes, stats[1].Bytes
+		res.ColdFlops, res.HotFlops = stats[0].Flops, stats[1].Flops
+		if anyHot && anyCold && !a.AtomicRMW && opts.Kernel != model.KernelSDDMM {
+			// SDDMM outputs are disjoint per nonzero, so no merge is needed
+			// even with private buffers.
+			res.mergeBytes = 3 * float64(g.N) * float64(prm.K) * float64(a.Hot.ElemBytes)
+			res.MergeTime = res.mergeBytes / a.BWBytes
+			res.Time += res.MergeTime
+		}
+	}
+
+	if !opts.SkipFunctional {
+		if opts.Kernel == model.KernelSDDMM {
+			res.SDDMM = executeSDDMM(g, din)
+		} else {
+			out, err := execute(g, hot, din, sr)
+			if err != nil {
+				return nil, err
+			}
+			res.Output = out
+		}
+	}
+	return res, nil
+}
+
+// executeSDDMM computes the sampled dense-dense product functionally: both
+// factor matrices are din (U = V), matching the common attention/embedding
+// use; values align with the grid's tile-ordered nonzeros.
+func executeSDDMM(g *tile.Grid, din *dense.Matrix) []float64 {
+	out := make([]float64, g.NNZ())
+	k := din.K
+	for i := range g.Vals {
+		ur := din.Data[int(g.Rows[i])*k : int(g.Rows[i])*k+k]
+		vc := din.Data[int(g.Cols[i])*k : int(g.Cols[i])*k+k]
+		dot := 0.0
+		for j := 0; j < k; j++ {
+			dot += ur[j] * vc[j]
+		}
+		out[i] = g.Vals[i] * dot
+	}
+	return out
+}
+
+// execute performs the functional gSpMM: cold section in untiled row order,
+// hot section in tiled panel order, accumulated into per-pool buffers that
+// are merged with the semiring's additive monoid.
+func execute(g *tile.Grid, hot []bool, din *dense.Matrix, sr semiring.Semiring) (*dense.Matrix, error) {
+	k := din.K
+	coldBuf := dense.NewFilled(g.N, k, sr.AddIdentity)
+	hotBuf := dense.NewFilled(g.N, k, sr.AddIdentity)
+	for i := range g.Tiles {
+		buf := coldBuf
+		if hot[i] {
+			buf = hotBuf
+		}
+		rows, cols, vals := g.TileNonzeros(i)
+		for j := range rows {
+			in := din.Row(int(cols[j]))
+			out := buf.Row(int(rows[j]))
+			for x := 0; x < k; x++ {
+				out[x] = sr.Add(out[x], sr.Mul(vals[j], in[x]))
+			}
+		}
+	}
+	if err := dense.GMerge(coldBuf, hotBuf, sr); err != nil {
+		return nil, err
+	}
+	return coldBuf, nil
+}

@@ -1,0 +1,52 @@
+package sim
+
+// TracePoint is one sample of the simulated memory system: during
+// [T, T+Dt) the engine granted BW bytes/s in aggregate, split between the
+// pools. Traces make bandwidth saturation and the hot/cold interleaving
+// visible — the behavior behind the paper's Table VII utilization numbers.
+type TracePoint struct {
+	T, Dt  float64
+	BW     float64 // total granted bandwidth, bytes/s
+	PoolBW []float64
+}
+
+// tracer accumulates the bandwidth timeline during an engine run.
+type tracer struct {
+	points []TracePoint
+}
+
+// record appends one interval sample with the current grants.
+func (tr *tracer) record(t, dt float64, workers []*workerState, npools int) {
+	if tr == nil || dt <= 0 {
+		return
+	}
+	p := TracePoint{T: t, Dt: dt, PoolBW: make([]float64, npools)}
+	for _, w := range workers {
+		if w.unitIdx >= 0 && w.remB > 0 {
+			p.BW += w.grant
+			p.PoolBW[w.pool] += w.grant
+		}
+	}
+	tr.points = append(tr.points, p)
+}
+
+// MovedBytes integrates the trace: ∑ BW·Dt, which must equal the engine's
+// total traffic (checked by tests).
+func MovedBytes(points []TracePoint) float64 {
+	total := 0.0
+	for _, p := range points {
+		total += p.BW * p.Dt
+	}
+	return total
+}
+
+// PeakBW returns the highest aggregate grant observed.
+func PeakBW(points []TracePoint) float64 {
+	peak := 0.0
+	for _, p := range points {
+		if p.BW > peak {
+			peak = p.BW
+		}
+	}
+	return peak
+}

@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/arch"
+)
+
+func TestTraceIntegralMatchesTraffic(t *testing.T) {
+	a := scaledArch(arch.SpadeSextans(4), 64)
+	g, res, _ := testSetup(t, &a, 61)
+	r, err := Run(g, res.Hot, &a, nil, Options{SkipFunctional: true, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Trace) == 0 {
+		t.Fatal("no trace recorded")
+	}
+	moved := MovedBytes(r.Trace)
+	want := r.HotBytes + r.ColdBytes
+	if math.Abs(moved-want) > 1e-3*want {
+		t.Fatalf("trace integral %.6g vs engine traffic %.6g", moved, want)
+	}
+	// The peak grant can never exceed the system bandwidth.
+	if PeakBW(r.Trace) > a.BWBytes*(1+1e-9) {
+		t.Fatalf("trace peak %.3g exceeds system bandwidth %.3g", PeakBW(r.Trace), a.BWBytes)
+	}
+	// Timestamps are monotone and intervals cover [0, Time) at most.
+	last := -1.0
+	for _, p := range r.Trace {
+		if p.T < last {
+			t.Fatal("trace timestamps not monotone")
+		}
+		last = p.T
+		if p.T+p.Dt > r.Time-r.MergeTime+1e-9 {
+			t.Fatalf("trace interval [%g, %g) beyond compute span %g", p.T, p.T+p.Dt, r.Time)
+		}
+		if len(p.PoolBW) != 2 {
+			t.Fatalf("pool split has %d entries", len(p.PoolBW))
+		}
+		sum := p.PoolBW[0] + p.PoolBW[1]
+		if math.Abs(sum-p.BW) > 1e-6*(1+p.BW) {
+			t.Fatalf("pool split %g does not sum to total %g", sum, p.BW)
+		}
+	}
+}
+
+func TestTraceSerialConcatenation(t *testing.T) {
+	a := scaledArch(arch.SpadeSextans(4), 64)
+	g, res, _ := testSetup(t, &a, 62)
+	r, err := Run(g, res.Hot, &a, nil, Options{Serial: true, SkipFunctional: true, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := MovedBytes(r.Trace)
+	want := r.HotBytes + r.ColdBytes
+	if math.Abs(moved-want) > 1e-3*want {
+		t.Fatalf("serial trace integral %.6g vs traffic %.6g", moved, want)
+	}
+	// During the cold segment the hot pool share is zero and vice versa.
+	sawColdPhase, sawHotPhase := false, false
+	for _, p := range r.Trace {
+		if p.PoolBW[0] > 0 && p.PoolBW[1] == 0 {
+			sawColdPhase = true
+		}
+		if p.PoolBW[1] > 0 && p.PoolBW[0] == 0 {
+			sawHotPhase = true
+		}
+		if p.PoolBW[0] > 0 && p.PoolBW[1] > 0 {
+			t.Fatal("serial run has overlapping pool bandwidth")
+		}
+	}
+	if !sawColdPhase || !sawHotPhase {
+		t.Fatalf("expected both serial phases (cold=%v hot=%v)", sawColdPhase, sawHotPhase)
+	}
+}
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	a := scaledArch(arch.SpadeSextans(4), 64)
+	g, res, _ := testSetup(t, &a, 63)
+	r, err := Run(g, res.Hot, &a, nil, Options{SkipFunctional: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Trace != nil {
+		t.Fatal("trace recorded without Options.Trace")
+	}
+}
+
+func TestMovedBytesAndPeakEmpty(t *testing.T) {
+	if MovedBytes(nil) != 0 || PeakBW(nil) != 0 {
+		t.Fatal("empty trace stats should be zero")
+	}
+}

@@ -1,0 +1,232 @@
+package sim
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/model"
+	"repro/internal/tile"
+)
+
+// newPool derives the engine pool from a worker description. A worker with
+// no declared streaming limit is constrained only by the shared memory
+// bandwidth.
+func newPool(w *model.Worker) *pool {
+	p := &pool{
+		name:        w.Name,
+		workers:     w.Count,
+		linkBW:      w.MaxStreamBW,
+		perWorkerBW: math.Inf(1),
+	}
+	if w.Count > 0 && w.MaxStreamBW > 0 {
+		p.perWorkerBW = w.MaxStreamBW / float64(w.Count)
+	}
+	return p
+}
+
+// buildHotPool converts the hot tiles into work units for the hot workers:
+// a Figure 6(b) tiled traversal in panel-major order. Streaming workers
+// fetch the full Din tile per tile; Dout follows the worker's reuse type,
+// with inter-tile reuse charging the panel's rows once per panel (stream in
+// on the panel's first hot tile, write back on its last). For SDDMM the
+// write-back is the sparse output (one value per nonzero).
+func buildHotPool(g *tile.Grid, hot []bool, a *arch.Arch, prm model.Params) *pool {
+	w := &a.Hot
+	p := newPool(w)
+	rowBytes := float64(prm.K * w.ElemBytes)
+
+	for tr := 0; tr < g.NumTR; tr++ {
+		panel := g.Panel(tr)
+		base := g.PanelStart[tr]
+		firstHot, lastHot := -1, -1
+		for i := range panel {
+			if hot[base+i] {
+				if firstHot < 0 {
+					firstHot = i
+				}
+				lastHot = i
+			}
+		}
+		if firstHot < 0 {
+			continue
+		}
+		lo, hi := g.PanelRows(tr)
+		panelH := hi - lo
+		for i := range panel {
+			if !hot[base+i] {
+				continue
+			}
+			t := &panel[i]
+			nnz := t.NNZ()
+			tileW := g.TileW
+			if (t.TC+1)*g.TileW > g.N {
+				tileW = g.N - t.TC*g.TileW
+			}
+
+			stream := float64(model.SparseBytesAccessed(w.Format, nnz, panelH, w.IdxBytes, w.ElemBytes))
+			switch w.DinReuse {
+			case model.ReuseIntraStream:
+				stream += float64(tileW) * rowBytes
+			case model.ReuseIntraDemand:
+				stream += float64(t.UniqCols) * rowBytes
+			case model.ReuseNone:
+				stream += float64(nnz) * rowBytes
+			}
+
+			var doutRead, doutWrite float64
+			switch w.DoutReuse {
+			case model.ReuseInter:
+				if i == firstHot {
+					doutRead = float64(panelH) * rowBytes
+				}
+				if i == lastHot {
+					doutWrite = float64(panelH) * rowBytes
+				}
+			case model.ReuseIntraStream:
+				doutRead = float64(panelH) * rowBytes
+				doutWrite = float64(panelH) * rowBytes
+			case model.ReuseIntraDemand:
+				doutRead = float64(t.UniqRows) * rowBytes
+				doutWrite = float64(t.UniqRows) * rowBytes
+			case model.ReuseNone:
+				doutRead = float64(nnz) * rowBytes
+				doutWrite = float64(nnz) * rowBytes
+			}
+			if prm.Kernel == model.KernelSDDMM {
+				doutWrite = float64(nnz * w.ElemBytes)
+			}
+
+			compute := w.ComputeTime(nnz, prm.K, prm.OpsPerMAC)
+			flops := float64(nnz) * float64(prm.K) * prm.OpsPerMAC
+			u := unit{flops: flops}
+			// The streamer overlaps input streams and compute; the
+			// write-back drains afterwards (model.StreamOverlap). Fully
+			// overlapping workers fold everything into one phase.
+			if len(w.OverlapGroups) == 1 {
+				u.phases = []phase{{compute: compute, bytes: stream + doutRead + doutWrite}}
+			} else {
+				u.phases = []phase{
+					{compute: compute, bytes: stream + doutRead},
+					{bytes: doutWrite},
+				}
+			}
+			p.units = append(p.units, u)
+		}
+	}
+	return p
+}
+
+// buildColdPool converts the cold nonzeros into row-chunk work units for
+// the cold workers: a Figure 6(a) untiled row-ordered traversal in chunks
+// of a.ChunkRows consecutive rows (§VII-A). Din accesses go through each
+// PE's simulated cache — the reuse source the analytical model ignores —
+// while the sparse input and Dout bypass it (BBF-style).
+func buildColdPool(g *tile.Grid, hot []bool, a *arch.Arch, prm model.Params) *pool {
+	w := &a.Cold
+	p := newPool(w)
+	rowBytes := prm.K * w.ElemBytes
+
+	// Gather the cold nonzeros in row-major order.
+	type nz struct{ r, c int32 }
+	var nzs []nz
+	for i := range g.Tiles {
+		if hot[i] {
+			continue
+		}
+		rows, cols, _ := g.TileNonzeros(i)
+		for j := range rows {
+			nzs = append(nzs, nz{rows[j], cols[j]})
+		}
+	}
+	sort.Slice(nzs, func(i, j int) bool {
+		if nzs[i].r != nzs[j].r {
+			return nzs[i].r < nzs[j].r
+		}
+		return nzs[i].c < nzs[j].c
+	})
+	if len(nzs) == 0 {
+		return p
+	}
+
+	chunkRows := a.ChunkRows
+	if chunkRows <= 0 {
+		chunkRows = 64
+	}
+	// Round-robin static chunk placement onto per-PE caches, optionally
+	// backed by a shared last-level cache (the §X future-work extension):
+	// private misses probe the shared level before reaching main memory.
+	caches := make([]*cache, w.Count)
+	for i := range caches {
+		caches[i] = newCache(a.ColdCacheBytes, a.ColdCacheLine)
+	}
+	shared := newCache(a.SharedL2Bytes, a.ColdCacheLine)
+
+	start := 0
+	chunkIdx := 0
+	for start < len(nzs) {
+		chunkBase := int(nzs[start].r) / chunkRows
+		end := start
+		rowsInChunk := 0
+		lastRow := int32(-1)
+		for end < len(nzs) && int(nzs[end].r)/chunkRows == chunkBase {
+			if nzs[end].r != lastRow {
+				rowsInChunk++
+				lastRow = nzs[end].r
+			}
+			end++
+		}
+		nnz := end - start
+
+		var c *cache
+		if w.Count > 0 {
+			c = caches[chunkIdx%w.Count]
+		}
+		dinBytes := 0
+		for i := start; i < end; i++ {
+			switch w.DinReuse {
+			case model.ReuseNone, model.ReuseIntraDemand:
+				addr := uint64(nzs[i].c) * uint64(rowBytes)
+				dinBytes += missThrough(c, shared, addr, rowBytes)
+			}
+		}
+		if w.DinReuse == model.ReuseIntraStream {
+			dinBytes = chunkRows * rowBytes // stream a full stripe
+		}
+
+		aBytes := model.SparseBytesAccessed(w.Format, nnz, rowsInChunk, w.IdxBytes, w.ElemBytes)
+		// Dout: the chunk's rows are streamed through the BBF once
+		// (read-modify-write), regardless of inter-tile reuse bookkeeping.
+		// SDDMM reads its U rows once and writes one value per nonzero.
+		doutBytes := 2 * rowsInChunk * rowBytes
+		if prm.Kernel == model.KernelSDDMM {
+			doutBytes = rowsInChunk*rowBytes + nnz*w.ElemBytes
+		}
+
+		compute := w.ComputeTime(nnz, prm.K, prm.OpsPerMAC)
+		flops := float64(nnz) * float64(prm.K) * prm.OpsPerMAC
+		u := unit{flops: flops}
+		total := float64(aBytes + dinBytes + doutBytes)
+		if len(w.OverlapGroups) == 1 {
+			u.phases = []phase{{compute: compute, bytes: total}}
+		} else {
+			u.phases = []phase{
+				{compute: compute, bytes: float64(aBytes+dinBytes) + float64(rowsInChunk*rowBytes)},
+				{bytes: float64(rowsInChunk * rowBytes)},
+			}
+		}
+		p.units = append(p.units, u)
+		start = end
+		chunkIdx++
+	}
+	return p
+}
+
+// accessOrFull runs a cached access when a cache exists, else charges the
+// full size.
+func accessOrFull(c *cache, addr uint64, n int) int {
+	if c == nil {
+		return n
+	}
+	return c.accessRange(addr, n)
+}

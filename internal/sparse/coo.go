@@ -1,0 +1,182 @@
+// Package sparse provides the sparse matrix substrate used throughout the
+// HotTiles reproduction: coordinate (COO) and compressed sparse row (CSR)
+// formats, conversions between them, and structural utilities (sorting,
+// deduplication, transposition, validation).
+//
+// All matrices are square N×N as in the paper (SpMM multiplies a square
+// sparse A by a dense N×K input). Values are float64 in the substrate;
+// element sizes used for traffic accounting are configured separately in the
+// model layer, so the same structural matrix can be "stored" as fp32 (the
+// SPADE-Sextans experiments) or fp64 (the PIUMA experiments).
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// COO is a coordinate-format sparse matrix. Nonzeros are stored as parallel
+// slices of row index, column index, and value. A COO is row-ordered when
+// nonzeros are sorted by (row, col); most of the pipeline requires
+// row-ordered input and the constructors here establish it.
+type COO struct {
+	N    int // matrix dimension (square N×N)
+	Rows []int32
+	Cols []int32
+	Vals []float64
+}
+
+// NewCOO returns an empty COO of dimension n with capacity for nnz nonzeros.
+func NewCOO(n, nnz int) *COO {
+	return &COO{
+		N:    n,
+		Rows: make([]int32, 0, nnz),
+		Cols: make([]int32, 0, nnz),
+		Vals: make([]float64, 0, nnz),
+	}
+}
+
+// NNZ reports the number of stored nonzeros.
+func (m *COO) NNZ() int { return len(m.Vals) }
+
+// Append adds a nonzero. It does not maintain ordering; call SortRowMajor
+// when done appending.
+func (m *COO) Append(r, c int32, v float64) {
+	m.Rows = append(m.Rows, r)
+	m.Cols = append(m.Cols, c)
+	m.Vals = append(m.Vals, v)
+}
+
+// At returns the nonzero at position i as (row, col, val).
+func (m *COO) At(i int) (int32, int32, float64) {
+	return m.Rows[i], m.Cols[i], m.Vals[i]
+}
+
+// Clone returns a deep copy of the matrix.
+func (m *COO) Clone() *COO {
+	c := &COO{
+		N:    m.N,
+		Rows: append([]int32(nil), m.Rows...),
+		Cols: append([]int32(nil), m.Cols...),
+		Vals: append([]float64(nil), m.Vals...),
+	}
+	return c
+}
+
+// cooSorter sorts the three parallel slices by (row, col).
+type cooSorter struct{ m *COO }
+
+func (s cooSorter) Len() int { return s.m.NNZ() }
+func (s cooSorter) Less(i, j int) bool {
+	if s.m.Rows[i] != s.m.Rows[j] {
+		return s.m.Rows[i] < s.m.Rows[j]
+	}
+	return s.m.Cols[i] < s.m.Cols[j]
+}
+func (s cooSorter) Swap(i, j int) {
+	s.m.Rows[i], s.m.Rows[j] = s.m.Rows[j], s.m.Rows[i]
+	s.m.Cols[i], s.m.Cols[j] = s.m.Cols[j], s.m.Cols[i]
+	s.m.Vals[i], s.m.Vals[j] = s.m.Vals[j], s.m.Vals[i]
+}
+
+// SortRowMajor sorts nonzeros by (row, col). Row-major ordering is what the
+// paper calls "row-ordered nonzeros" (Figure 6) and is assumed by the tiler
+// and the untiled traversal of the SPADE workers.
+func (m *COO) SortRowMajor() {
+	if m.IsRowMajor() {
+		return
+	}
+	// Counting-sort style bucketing by row keeps this O(nnz + N) for the
+	// common nearly-sorted generator output, then an in-bucket sort by col.
+	sort.Stable(cooSorter{m})
+}
+
+// IsRowMajor reports whether the nonzeros are sorted by (row, col).
+func (m *COO) IsRowMajor() bool {
+	for i := 1; i < m.NNZ(); i++ {
+		if m.Rows[i] < m.Rows[i-1] ||
+			(m.Rows[i] == m.Rows[i-1] && m.Cols[i] < m.Cols[i-1]) {
+			return false
+		}
+	}
+	return true
+}
+
+// DedupSum collapses duplicate (row, col) entries by summing their values.
+// The matrix must be row-major sorted; the result remains row-major.
+func (m *COO) DedupSum() {
+	if m.NNZ() == 0 {
+		return
+	}
+	out := 0
+	for i := 1; i < m.NNZ(); i++ {
+		if m.Rows[i] == m.Rows[out] && m.Cols[i] == m.Cols[out] {
+			m.Vals[out] += m.Vals[i]
+			continue
+		}
+		out++
+		m.Rows[out] = m.Rows[i]
+		m.Cols[out] = m.Cols[i]
+		m.Vals[out] = m.Vals[i]
+	}
+	m.Rows = m.Rows[:out+1]
+	m.Cols = m.Cols[:out+1]
+	m.Vals = m.Vals[:out+1]
+}
+
+// Transpose returns the transpose as a new row-major COO.
+func (m *COO) Transpose() *COO {
+	t := NewCOO(m.N, m.NNZ())
+	t.Rows = append(t.Rows, m.Cols...)
+	t.Cols = append(t.Cols, m.Rows...)
+	t.Vals = append(t.Vals, m.Vals...)
+	t.SortRowMajor()
+	return t
+}
+
+// Validate checks structural invariants: indices in range, row-major order,
+// and no duplicate coordinates. It returns a descriptive error on the first
+// violation found.
+func (m *COO) Validate() error {
+	if m.N <= 0 {
+		return fmt.Errorf("sparse: non-positive dimension %d", m.N)
+	}
+	if len(m.Rows) != len(m.Cols) || len(m.Rows) != len(m.Vals) {
+		return fmt.Errorf("sparse: ragged COO slices: rows=%d cols=%d vals=%d",
+			len(m.Rows), len(m.Cols), len(m.Vals))
+	}
+	for i := 0; i < m.NNZ(); i++ {
+		if m.Rows[i] < 0 || int(m.Rows[i]) >= m.N || m.Cols[i] < 0 || int(m.Cols[i]) >= m.N {
+			return fmt.Errorf("sparse: nonzero %d at (%d,%d) out of range for N=%d",
+				i, m.Rows[i], m.Cols[i], m.N)
+		}
+		if i > 0 {
+			switch {
+			case m.Rows[i] < m.Rows[i-1],
+				m.Rows[i] == m.Rows[i-1] && m.Cols[i] < m.Cols[i-1]:
+				return fmt.Errorf("sparse: nonzeros not row-major at index %d", i)
+			case m.Rows[i] == m.Rows[i-1] && m.Cols[i] == m.Cols[i-1]:
+				return fmt.Errorf("sparse: duplicate coordinate (%d,%d) at index %d",
+					m.Rows[i], m.Cols[i], i)
+			}
+		}
+	}
+	return nil
+}
+
+// Density returns nnz / N².
+func (m *COO) Density() float64 {
+	if m.N == 0 {
+		return 0
+	}
+	return float64(m.NNZ()) / (float64(m.N) * float64(m.N))
+}
+
+// RowNNZ returns the number of nonzeros in each row.
+func (m *COO) RowNNZ() []int {
+	counts := make([]int, m.N)
+	for _, r := range m.Rows {
+		counts[r]++
+	}
+	return counts
+}

@@ -1,0 +1,222 @@
+package sparse
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func mkCOO(t *testing.T, n int, trip [][3]int) *COO {
+	t.Helper()
+	m := NewCOO(n, len(trip))
+	for _, e := range trip {
+		m.Append(int32(e[0]), int32(e[1]), float64(e[2]))
+	}
+	return m
+}
+
+func TestCOOAppendAndAt(t *testing.T) {
+	m := NewCOO(4, 2)
+	m.Append(1, 2, 3.5)
+	m.Append(3, 0, -1)
+	if m.NNZ() != 2 {
+		t.Fatalf("NNZ = %d, want 2", m.NNZ())
+	}
+	r, c, v := m.At(0)
+	if r != 1 || c != 2 || v != 3.5 {
+		t.Fatalf("At(0) = (%d,%d,%g)", r, c, v)
+	}
+}
+
+func TestSortRowMajor(t *testing.T) {
+	m := mkCOO(t, 4, [][3]int{{3, 1, 1}, {0, 2, 2}, {3, 0, 3}, {0, 0, 4}})
+	m.SortRowMajor()
+	if !m.IsRowMajor() {
+		t.Fatal("not row-major after sort")
+	}
+	wantRows := []int32{0, 0, 3, 3}
+	wantCols := []int32{0, 2, 0, 1}
+	wantVals := []float64{4, 2, 3, 1}
+	for i := range wantRows {
+		r, c, v := m.At(i)
+		if r != wantRows[i] || c != wantCols[i] || v != wantVals[i] {
+			t.Errorf("nz %d = (%d,%d,%g), want (%d,%d,%g)",
+				i, r, c, v, wantRows[i], wantCols[i], wantVals[i])
+		}
+	}
+}
+
+func TestSortRowMajorAlreadySortedNoop(t *testing.T) {
+	m := mkCOO(t, 3, [][3]int{{0, 1, 1}, {1, 0, 2}, {2, 2, 3}})
+	m.SortRowMajor()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDedupSum(t *testing.T) {
+	m := mkCOO(t, 3, [][3]int{{0, 0, 1}, {0, 0, 2}, {1, 1, 3}, {1, 1, 4}, {2, 0, 5}})
+	m.DedupSum()
+	if m.NNZ() != 3 {
+		t.Fatalf("NNZ after dedup = %d, want 3", m.NNZ())
+	}
+	if m.Vals[0] != 3 || m.Vals[1] != 7 || m.Vals[2] != 5 {
+		t.Fatalf("vals = %v, want [3 7 5]", m.Vals)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDedupSumEmpty(t *testing.T) {
+	m := NewCOO(3, 0)
+	m.DedupSum() // must not panic
+	if m.NNZ() != 0 {
+		t.Fatalf("NNZ = %d", m.NNZ())
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := randomCOO(rng, 32, 100)
+	tt := m.Transpose().Transpose()
+	if tt.NNZ() != m.NNZ() {
+		t.Fatalf("nnz changed: %d -> %d", m.NNZ(), tt.NNZ())
+	}
+	for i := 0; i < m.NNZ(); i++ {
+		r1, c1, v1 := m.At(i)
+		r2, c2, v2 := tt.At(i)
+		if r1 != r2 || c1 != c2 || v1 != v2 {
+			t.Fatalf("nz %d differs: (%d,%d,%g) vs (%d,%d,%g)", i, r1, c1, v1, r2, c2, v2)
+		}
+	}
+}
+
+func TestValidateCatchesOutOfRange(t *testing.T) {
+	m := mkCOO(t, 2, [][3]int{{0, 5, 1}})
+	if err := m.Validate(); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	m = mkCOO(t, 2, [][3]int{{1, 0, 1}, {0, 0, 1}})
+	if err := m.Validate(); err == nil {
+		t.Fatal("expected ordering error")
+	}
+	m = mkCOO(t, 2, [][3]int{{0, 0, 1}, {0, 0, 2}})
+	if err := m.Validate(); err == nil {
+		t.Fatal("expected duplicate error")
+	}
+	m = &COO{N: 0}
+	if err := m.Validate(); err == nil {
+		t.Fatal("expected dimension error")
+	}
+	m = &COO{N: 2, Rows: []int32{0}, Cols: nil, Vals: nil}
+	if err := m.Validate(); err == nil {
+		t.Fatal("expected ragged-slice error")
+	}
+}
+
+func TestDensity(t *testing.T) {
+	m := mkCOO(t, 10, [][3]int{{0, 0, 1}, {5, 5, 1}})
+	if d := m.Density(); d != 0.02 {
+		t.Fatalf("density = %g, want 0.02", d)
+	}
+	if d := (&COO{}).Density(); d != 0 {
+		t.Fatalf("empty density = %g", d)
+	}
+}
+
+func TestRowNNZ(t *testing.T) {
+	m := mkCOO(t, 3, [][3]int{{0, 0, 1}, {0, 1, 1}, {2, 2, 1}})
+	counts := m.RowNNZ()
+	want := []int{2, 0, 1}
+	for i, w := range want {
+		if counts[i] != w {
+			t.Fatalf("row %d count %d, want %d", i, counts[i], w)
+		}
+	}
+}
+
+// randomCOO builds a valid random row-major deduplicated COO.
+func randomCOO(rng *rand.Rand, n, nnz int) *COO {
+	m := NewCOO(n, nnz)
+	seen := map[[2]int32]bool{}
+	for len(seen) < nnz && len(seen) < n*n {
+		r, c := int32(rng.Intn(n)), int32(rng.Intn(n))
+		if seen[[2]int32{r, c}] {
+			continue
+		}
+		seen[[2]int32{r, c}] = true
+		m.Append(r, c, rng.NormFloat64())
+	}
+	m.SortRowMajor()
+	return m
+}
+
+// Property: sort is idempotent and preserves the multiset of entries.
+func TestSortRowMajorProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		nnz := rng.Intn(200)
+		m := NewCOO(n, nnz)
+		for i := 0; i < nnz; i++ {
+			m.Append(int32(rng.Intn(n)), int32(rng.Intn(n)), rng.Float64())
+		}
+		before := append([]float64(nil), m.Vals...)
+		m.SortRowMajor()
+		if !m.IsRowMajor() || m.NNZ() != nnz {
+			return false
+		}
+		after := append([]float64(nil), m.Vals...)
+		sort.Float64s(before)
+		sort.Float64s(after)
+		for i := range before {
+			if before[i] != after[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: transpose preserves nnz and swaps coordinates.
+func TestTransposeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomCOO(rng, 1+rng.Intn(30), rng.Intn(150))
+		tr := m.Transpose()
+		if tr.NNZ() != m.NNZ() || tr.Validate() != nil {
+			return false
+		}
+		// Every entry of m appears transposed in tr.
+		set := map[[2]int32]float64{}
+		for i := 0; i < tr.NNZ(); i++ {
+			r, c, v := tr.At(i)
+			set[[2]int32{r, c}] = v
+		}
+		for i := 0; i < m.NNZ(); i++ {
+			r, c, v := m.At(i)
+			if set[[2]int32{c, r}] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClone(t *testing.T) {
+	m := mkCOO(t, 3, [][3]int{{0, 0, 1}, {1, 2, 2}})
+	c := m.Clone()
+	c.Vals[0] = 99
+	c.Rows[0] = 2
+	if m.Vals[0] != 1 || m.Rows[0] != 0 {
+		t.Fatal("clone aliases original storage")
+	}
+}

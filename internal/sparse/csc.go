@@ -1,0 +1,98 @@
+package sparse
+
+import "fmt"
+
+// CSC is a compressed-sparse-column matrix: ColPtr has N+1 entries
+// delimiting each column's span in Rows/Vals. Table I notes that the
+// nonzero ordering (row- or column-ordered) changes a worker's reuse
+// behavior; CSC is the column-ordered substrate for such configurations and
+// for fast column slicing.
+type CSC struct {
+	N      int
+	ColPtr []int64
+	Rows   []int32
+	Vals   []float64
+}
+
+// NNZ reports the number of stored nonzeros.
+func (m *CSC) NNZ() int { return len(m.Vals) }
+
+// Col returns the row indices and values of column c as sub-slices (no
+// copies; callers must not modify them).
+func (m *CSC) Col(c int) ([]int32, []float64) {
+	lo, hi := m.ColPtr[c], m.ColPtr[c+1]
+	return m.Rows[lo:hi], m.Vals[lo:hi]
+}
+
+// Validate checks structural invariants: monotone column pointers covering
+// all nonzeros, in-range strictly-increasing row indices within each
+// column.
+func (m *CSC) Validate() error {
+	if m.N <= 0 {
+		return fmt.Errorf("sparse: non-positive dimension %d", m.N)
+	}
+	if len(m.ColPtr) != m.N+1 {
+		return fmt.Errorf("sparse: ColPtr length %d, want %d", len(m.ColPtr), m.N+1)
+	}
+	if m.ColPtr[0] != 0 || m.ColPtr[m.N] != int64(m.NNZ()) {
+		return fmt.Errorf("sparse: ColPtr bounds [%d,%d], want [0,%d]",
+			m.ColPtr[0], m.ColPtr[m.N], m.NNZ())
+	}
+	if len(m.Rows) != len(m.Vals) {
+		return fmt.Errorf("sparse: ragged CSC slices: rows=%d vals=%d", len(m.Rows), len(m.Vals))
+	}
+	for c := 0; c < m.N; c++ {
+		if m.ColPtr[c] > m.ColPtr[c+1] {
+			return fmt.Errorf("sparse: ColPtr not monotone at column %d", c)
+		}
+		for i := m.ColPtr[c]; i < m.ColPtr[c+1]; i++ {
+			if m.Rows[i] < 0 || int(m.Rows[i]) >= m.N {
+				return fmt.Errorf("sparse: column %d row %d out of range for N=%d", c, m.Rows[i], m.N)
+			}
+			if i > m.ColPtr[c] && m.Rows[i] <= m.Rows[i-1] {
+				return fmt.Errorf("sparse: column %d rows not strictly increasing at nnz %d", c, i)
+			}
+		}
+	}
+	return nil
+}
+
+// ToCSC converts a row-major COO into CSC with a counting pass (no sort).
+func ToCSC(m *COO) *CSC {
+	c := &CSC{
+		N:      m.N,
+		ColPtr: make([]int64, m.N+1),
+		Rows:   make([]int32, m.NNZ()),
+		Vals:   make([]float64, m.NNZ()),
+	}
+	for _, col := range m.Cols {
+		c.ColPtr[col+1]++
+	}
+	for i := 0; i < m.N; i++ {
+		c.ColPtr[i+1] += c.ColPtr[i]
+	}
+	offsets := make([]int64, m.N)
+	copy(offsets, c.ColPtr[:m.N])
+	// Row-major input means rows arrive in increasing order per column, so
+	// the fill below leaves each column sorted by row.
+	for i := 0; i < m.NNZ(); i++ {
+		col := m.Cols[i]
+		o := offsets[col]
+		offsets[col]++
+		c.Rows[o] = m.Rows[i]
+		c.Vals[o] = m.Vals[i]
+	}
+	return c
+}
+
+// ToCOO converts a CSC matrix back into a row-major COO.
+func (m *CSC) ToCOO() *COO {
+	c := NewCOO(m.N, m.NNZ())
+	for col := 0; col < m.N; col++ {
+		for i := m.ColPtr[col]; i < m.ColPtr[col+1]; i++ {
+			c.Append(m.Rows[i], int32(col), m.Vals[i])
+		}
+	}
+	c.SortRowMajor()
+	return c
+}

@@ -1,0 +1,103 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestToCSCAndBack(t *testing.T) {
+	m := mkCOO(t, 4, [][3]int{{0, 1, 1}, {0, 3, 2}, {2, 0, 3}, {3, 1, 4}})
+	c := ToCSC(m)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rows, vals := c.Col(1)
+	if len(rows) != 2 || rows[0] != 0 || rows[1] != 3 || vals[1] != 4 {
+		t.Fatalf("col 1 = %v %v", rows, vals)
+	}
+	if rows, _ := c.Col(2); len(rows) != 0 {
+		t.Fatalf("col 2 should be empty, got %v", rows)
+	}
+	back := c.ToCOO()
+	for i := 0; i < m.NNZ(); i++ {
+		r1, c1, v1 := m.At(i)
+		r2, c2, v2 := back.At(i)
+		if r1 != r2 || c1 != c2 || v1 != v2 {
+			t.Fatalf("roundtrip differs at %d", i)
+		}
+	}
+}
+
+func TestCSCValidateCatchesErrors(t *testing.T) {
+	good := ToCSC(mkCOO(t, 3, [][3]int{{0, 0, 1}, {2, 1, 2}}))
+
+	bad := *good
+	bad.ColPtr = bad.ColPtr[:2]
+	if bad.Validate() == nil {
+		t.Fatal("expected ColPtr length error")
+	}
+	bad = *good
+	bad.ColPtr = append([]int64(nil), good.ColPtr...)
+	bad.ColPtr[3] = 7
+	if bad.Validate() == nil {
+		t.Fatal("expected ColPtr bound error")
+	}
+	bad = *good
+	bad.Rows = append([]int32(nil), good.Rows...)
+	bad.Rows[0] = 9
+	if bad.Validate() == nil {
+		t.Fatal("expected row range error")
+	}
+	bad = *good
+	bad.N = 0
+	if bad.Validate() == nil {
+		t.Fatal("expected dimension error")
+	}
+	nonmono := &CSC{N: 2, ColPtr: []int64{0, 2, 2}, Rows: []int32{1, 0}, Vals: []float64{1, 2}}
+	if nonmono.Validate() == nil {
+		t.Fatal("expected non-increasing row error")
+	}
+}
+
+// Property: COO -> CSC -> COO is the identity, and CSC columns are the
+// transpose's rows.
+func TestCSCRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomCOO(rng, 1+rng.Intn(40), rng.Intn(250))
+		c := ToCSC(m)
+		if c.Validate() != nil {
+			return false
+		}
+		back := c.ToCOO()
+		if back.NNZ() != m.NNZ() {
+			return false
+		}
+		for i := 0; i < m.NNZ(); i++ {
+			r1, c1, v1 := m.At(i)
+			r2, c2, v2 := back.At(i)
+			if r1 != r2 || c1 != c2 || v1 != v2 {
+				return false
+			}
+		}
+		// Column c of CSC(m) equals row c of CSR(mᵀ).
+		tr := ToCSR(m.Transpose())
+		for col := 0; col < m.N; col++ {
+			rows, _ := c.Col(col)
+			cols2, _ := tr.Row(col)
+			if len(rows) != len(cols2) {
+				return false
+			}
+			for j := range rows {
+				if rows[j] != cols2[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

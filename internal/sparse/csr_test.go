@@ -1,0 +1,105 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestToCSRAndBack(t *testing.T) {
+	m := mkCOO(t, 4, [][3]int{{0, 1, 1}, {0, 3, 2}, {2, 0, 3}, {3, 3, 4}})
+	c := ToCSR(m)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.NNZ() != m.NNZ() {
+		t.Fatalf("nnz %d, want %d", c.NNZ(), m.NNZ())
+	}
+	cols, vals := c.Row(0)
+	if len(cols) != 2 || cols[0] != 1 || cols[1] != 3 || vals[1] != 2 {
+		t.Fatalf("row 0 = %v %v", cols, vals)
+	}
+	if cols, _ := c.Row(1); len(cols) != 0 {
+		t.Fatalf("row 1 should be empty, got %v", cols)
+	}
+	back := c.ToCOO()
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m.NNZ(); i++ {
+		r1, c1, v1 := m.At(i)
+		r2, c2, v2 := back.At(i)
+		if r1 != r2 || c1 != c2 || v1 != v2 {
+			t.Fatalf("roundtrip differs at %d", i)
+		}
+	}
+}
+
+func TestCSRValidateCatchesErrors(t *testing.T) {
+	good := ToCSR(mkCOO(t, 3, [][3]int{{0, 0, 1}, {1, 2, 2}}))
+
+	bad := *good
+	bad.RowPtr = bad.RowPtr[:2]
+	if bad.Validate() == nil {
+		t.Fatal("expected RowPtr length error")
+	}
+
+	bad = *good
+	bad.RowPtr = append([]int64(nil), good.RowPtr...)
+	bad.RowPtr[3] = 5
+	if bad.Validate() == nil {
+		t.Fatal("expected RowPtr bound error")
+	}
+
+	bad = *good
+	bad.Cols = append([]int32(nil), good.Cols...)
+	bad.Cols[0] = 9
+	if bad.Validate() == nil {
+		t.Fatal("expected column range error")
+	}
+
+	bad = *good
+	bad.N = 0
+	if bad.Validate() == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func TestCSRValidateNonMonotone(t *testing.T) {
+	c := &CSR{
+		N:      2,
+		RowPtr: []int64{0, 2, 2},
+		Cols:   []int32{1, 0}, // not increasing within row 0
+		Vals:   []float64{1, 2},
+	}
+	if c.Validate() == nil {
+		t.Fatal("expected non-increasing column error")
+	}
+}
+
+// Property: COO -> CSR -> COO is the identity on valid matrices.
+func TestCSRRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomCOO(rng, 1+rng.Intn(50), rng.Intn(300))
+		c := ToCSR(m)
+		if c.Validate() != nil {
+			return false
+		}
+		back := c.ToCOO()
+		if back.NNZ() != m.NNZ() {
+			return false
+		}
+		for i := 0; i < m.NNZ(); i++ {
+			r1, c1, v1 := m.At(i)
+			r2, c2, v2 := back.At(i)
+			if r1 != r2 || c1 != c2 || v1 != v2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

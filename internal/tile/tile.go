@@ -1,0 +1,224 @@
+// Package tile partitions a sparse matrix into a grid of tiles and computes
+// the per-tile statistics the HotTiles analytical model consumes (paper
+// §IV): nonzero count, number of unique row ids (tile_uniq_rids) and unique
+// column ids (tile_uniq_cids). Tiles are grouped into row panels —
+// horizontal stripes of tile_height rows — because both the tiled traversal
+// (Figure 6(b)) and the inter-tile reuse accounting operate panel by panel.
+package tile
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sparse"
+)
+
+// Tile is one non-empty tile of the grid. Its nonzeros live in the owning
+// Grid's tile-ordered arrays at [Start, End).
+type Tile struct {
+	TR, TC     int // tile row (panel index) and tile column
+	Start, End int // span in Grid.Rows/Cols/Vals
+	UniqRows   int // distinct row ids among the tile's nonzeros
+	UniqCols   int // distinct column ids among the tile's nonzeros
+}
+
+// NNZ reports the tile's nonzero count.
+func (t *Tile) NNZ() int { return t.End - t.Start }
+
+// Grid is a tiling of a sparse matrix. Empty tiles are not materialized
+// (the paper eliminates them during preprocessing, §IX-D). Nonzeros are
+// stored twice conceptually: the original row-major matrix (for untiled
+// traversals) is retained by the caller; the Grid owns a tile-ordered copy,
+// sorted by (panel, tile column, row, col) — the order of Figure 6(b).
+type Grid struct {
+	N            int
+	TileH, TileW int
+	NumTR, NumTC int
+
+	Tiles []Tile // non-empty tiles, ordered by (TR, TC)
+	// PanelStart[p] is the index in Tiles of panel p's first tile;
+	// PanelStart[NumTR] == len(Tiles).
+	PanelStart []int
+
+	// Tile-ordered nonzero arrays.
+	Rows []int32
+	Cols []int32
+	Vals []float64
+}
+
+// Partition tiles a row-major matrix m into tileH×tileW tiles.
+func Partition(m *sparse.COO, tileH, tileW int) (*Grid, error) {
+	if tileH <= 0 || tileW <= 0 {
+		return nil, fmt.Errorf("tile: non-positive tile size %dx%d", tileH, tileW)
+	}
+	g := &Grid{
+		N:     m.N,
+		TileH: tileH,
+		TileW: tileW,
+		NumTR: (m.N + tileH - 1) / tileH,
+		NumTC: (m.N + tileW - 1) / tileW,
+		Rows:  make([]int32, m.NNZ()),
+		Cols:  make([]int32, m.NNZ()),
+		Vals:  make([]float64, m.NNZ()),
+	}
+	g.PanelStart = make([]int, g.NumTR+1)
+
+	// Counting sort nonzeros into (panel, tile column) buckets. The input is
+	// row-major, so within a bucket entries arrive already ordered by
+	// (row, col) — exactly the intra-tile order of a tiled row-ordered
+	// traversal.
+	nbuckets := g.NumTR * g.NumTC
+	counts := make([]int, nbuckets+1)
+	bucketOf := func(r, c int32) int {
+		return (int(r)/tileH)*g.NumTC + int(c)/tileW
+	}
+	for i := 0; i < m.NNZ(); i++ {
+		counts[bucketOf(m.Rows[i], m.Cols[i])+1]++
+	}
+	for b := 0; b < nbuckets; b++ {
+		counts[b+1] += counts[b]
+	}
+	offsets := append([]int(nil), counts[:nbuckets]...)
+	for i := 0; i < m.NNZ(); i++ {
+		b := bucketOf(m.Rows[i], m.Cols[i])
+		o := offsets[b]
+		offsets[b]++
+		g.Rows[o] = m.Rows[i]
+		g.Cols[o] = m.Cols[i]
+		g.Vals[o] = m.Vals[i]
+	}
+
+	// Materialize non-empty tiles with their statistics.
+	var scratch []int32
+	for tr := 0; tr < g.NumTR; tr++ {
+		g.PanelStart[tr] = len(g.Tiles)
+		for tc := 0; tc < g.NumTC; tc++ {
+			b := tr*g.NumTC + tc
+			start, end := counts[b], counts[b+1]
+			if start == end {
+				continue
+			}
+			t := Tile{TR: tr, TC: tc, Start: start, End: end}
+			t.UniqRows = countRuns(g.Rows[start:end])
+			scratch = append(scratch[:0], g.Cols[start:end]...)
+			sort.Slice(scratch, func(i, j int) bool { return scratch[i] < scratch[j] })
+			t.UniqCols = countRuns(scratch)
+			g.Tiles = append(g.Tiles, t)
+		}
+	}
+	g.PanelStart[g.NumTR] = len(g.Tiles)
+	return g, nil
+}
+
+// countRuns counts distinct values in a slice where equal values are
+// contiguous (sorted or row-major grouped).
+func countRuns(s []int32) int {
+	if len(s) == 0 {
+		return 0
+	}
+	n := 1
+	for i := 1; i < len(s); i++ {
+		if s[i] != s[i-1] {
+			n++
+		}
+	}
+	return n
+}
+
+// NNZ reports the total nonzeros across all tiles.
+func (g *Grid) NNZ() int { return len(g.Vals) }
+
+// Panel returns the tiles of row panel tr as a sub-slice of g.Tiles.
+func (g *Grid) Panel(tr int) []Tile {
+	return g.Tiles[g.PanelStart[tr]:g.PanelStart[tr+1]]
+}
+
+// PanelRows returns the row range [lo, hi) covered by panel tr.
+func (g *Grid) PanelRows(tr int) (lo, hi int) {
+	lo = tr * g.TileH
+	hi = lo + g.TileH
+	if hi > g.N {
+		hi = g.N
+	}
+	return lo, hi
+}
+
+// TileNonzeros returns the nonzeros of tile index ti as sub-slices of the
+// grid's tile-ordered arrays (no copies).
+func (g *Grid) TileNonzeros(ti int) (rows, cols []int32, vals []float64) {
+	t := &g.Tiles[ti]
+	return g.Rows[t.Start:t.End], g.Cols[t.Start:t.End], g.Vals[t.Start:t.End]
+}
+
+// PanelUniqRows returns, for panel tr, the number of distinct row ids among
+// the nonzeros of the tiles selected by keep (indexed by position within the
+// panel). It is used by the model's reuse readjustment: the Dout rows a
+// worker touches in a panel equal the distinct r_ids across the tiles
+// assigned to it.
+func (g *Grid) PanelUniqRows(tr int, keep func(i int) bool) int {
+	lo, hi := g.PanelRows(tr)
+	seen := make([]bool, hi-lo)
+	n := 0
+	for i, t := range g.Panel(tr) {
+		if keep != nil && !keep(i) {
+			continue
+		}
+		for _, r := range g.Rows[t.Start:t.End] {
+			if !seen[int(r)-lo] {
+				seen[int(r)-lo] = true
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Validate checks the grid's structural invariants: tiles ordered by
+// (TR, TC), spans contiguous and covering, stats consistent, and all
+// nonzeros inside their tile's bounds.
+func (g *Grid) Validate() error {
+	prev := 0
+	for i := range g.Tiles {
+		t := &g.Tiles[i]
+		if t.Start != prev {
+			return fmt.Errorf("tile: tile %d span starts at %d, want %d", i, t.Start, prev)
+		}
+		if t.End <= t.Start {
+			return fmt.Errorf("tile: tile %d empty or inverted span", i)
+		}
+		prev = t.End
+		if i > 0 {
+			p := &g.Tiles[i-1]
+			if t.TR < p.TR || (t.TR == p.TR && t.TC <= p.TC) {
+				return fmt.Errorf("tile: tiles out of order at %d", i)
+			}
+		}
+		rlo, rhi := t.TR*g.TileH, (t.TR+1)*g.TileH
+		clo, chi := t.TC*g.TileW, (t.TC+1)*g.TileW
+		for j := t.Start; j < t.End; j++ {
+			if int(g.Rows[j]) < rlo || int(g.Rows[j]) >= rhi ||
+				int(g.Cols[j]) < clo || int(g.Cols[j]) >= chi {
+				return fmt.Errorf("tile: nonzero %d (%d,%d) outside tile (%d,%d)",
+					j, g.Rows[j], g.Cols[j], t.TR, t.TC)
+			}
+		}
+		if t.UniqRows < 1 || t.UniqRows > t.NNZ() || t.UniqCols < 1 || t.UniqCols > t.NNZ() {
+			return fmt.Errorf("tile: tile %d has inconsistent uniq stats", i)
+		}
+	}
+	if prev != len(g.Vals) {
+		return fmt.Errorf("tile: tiles cover %d nonzeros, want %d", prev, len(g.Vals))
+	}
+	return nil
+}
+
+// ToCOO reassembles the grid's nonzeros into a row-major COO (used to verify
+// the tiling is a permutation of the original matrix).
+func (g *Grid) ToCOO() *sparse.COO {
+	m := sparse.NewCOO(g.N, g.NNZ())
+	m.Rows = append(m.Rows, g.Rows...)
+	m.Cols = append(m.Cols, g.Cols...)
+	m.Vals = append(m.Vals, g.Vals...)
+	m.SortRowMajor()
+	return m
+}

@@ -1,0 +1,129 @@
+// Package viz renders the evaluation's visual artifacts as portable
+// graymap (PGM) images with no dependencies: tile-assignment maps in the
+// style of the paper's Figure 5 and bandwidth-over-time traces from the
+// simulator. PGM is plain ASCII and viewable by any image tool.
+package viz
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+	"repro/internal/tile"
+)
+
+// pgm writes a grayscale image given a pixel accessor returning 0..255.
+func pgm(w io.Writer, width, height int, at func(x, y int) int) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "P2\n%d %d\n255\n", width, height)
+	for y := 0; y < height; y++ {
+		for x := 0; x < width; x++ {
+			if x > 0 {
+				fmt.Fprint(bw, " ")
+			}
+			v := at(x, y)
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			fmt.Fprint(bw, v)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// TileMap renders the grid's tile assignment like Figure 5: hot tiles
+// black (0), cold tiles gray, empty tiles white (255). maxDim bounds the
+// image size; larger grids are downsampled (a pixel is black if any tile
+// in its footprint is hot).
+func TileMap(w io.Writer, g *tile.Grid, hot []bool, maxDim int) error {
+	if len(hot) != len(g.Tiles) {
+		return fmt.Errorf("viz: assignment length %d, want %d", len(hot), len(g.Tiles))
+	}
+	if maxDim <= 0 {
+		maxDim = 512
+	}
+	step := 1
+	for (g.NumTC+step-1)/step > maxDim || (g.NumTR+step-1)/step > maxDim {
+		step++
+	}
+	width := (g.NumTC + step - 1) / step
+	height := (g.NumTR + step - 1) / step
+
+	const (
+		empty = 255
+		cold  = 176
+		hotPx = 0
+	)
+	img := make([]int, width*height)
+	for i := range img {
+		img[i] = empty
+	}
+	for i := range g.Tiles {
+		t := &g.Tiles[i]
+		x, y := t.TC/step, t.TR/step
+		px := &img[y*width+x]
+		if hot[i] {
+			*px = hotPx
+		} else if *px != hotPx {
+			*px = cold
+		}
+	}
+	return pgm(w, width, height, func(x, y int) int { return img[y*width+x] })
+}
+
+// TraceStrip renders a bandwidth trace as a width×height strip: column x
+// covers an equal slice of simulated time; darker means more of the system
+// bandwidth was granted during that slice.
+func TraceStrip(w io.Writer, points []sim.TracePoint, systemBW float64, width, height int) error {
+	if len(points) == 0 {
+		return fmt.Errorf("viz: empty trace")
+	}
+	if systemBW <= 0 {
+		return fmt.Errorf("viz: non-positive system bandwidth")
+	}
+	if width <= 0 {
+		width = 256
+	}
+	if height <= 0 {
+		height = 32
+	}
+	end := points[len(points)-1].T + points[len(points)-1].Dt
+	if end <= 0 {
+		return fmt.Errorf("viz: zero-length trace")
+	}
+	// Average utilization per column: integrate grant over each slice.
+	util := make([]float64, width)
+	sliceDt := end / float64(width)
+	for _, p := range points {
+		if p.Dt <= 0 {
+			continue
+		}
+		first := int(p.T / sliceDt)
+		last := int((p.T + p.Dt) / sliceDt)
+		for c := first; c <= last && c < width; c++ {
+			lo := p.T
+			if s := float64(c) * sliceDt; s > lo {
+				lo = s
+			}
+			hi := p.T + p.Dt
+			if e := float64(c+1) * sliceDt; e < hi {
+				hi = e
+			}
+			if hi > lo {
+				util[c] += p.BW * (hi - lo) / sliceDt
+			}
+		}
+	}
+	return pgm(w, width, height, func(x, y int) int {
+		frac := util[x] / systemBW
+		if frac > 1 {
+			frac = 1
+		}
+		return int(255 * (1 - frac))
+	})
+}
