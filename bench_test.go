@@ -18,6 +18,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/gen"
 	"repro/internal/model"
+	"repro/internal/par"
 	"repro/internal/partition"
 	"repro/internal/reorder"
 	"repro/internal/sim"
@@ -140,6 +141,28 @@ func BenchmarkTableIX(b *testing.B) {
 		if _, err := newEnv(i).TableIX(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkExperimentsFanout pins the wall-clock effect of the parallel
+// experiments engine: the same strategy study on fresh Envs, once serial
+// and once on the GOMAXPROCS-sized pool. With GOMAXPROCS >= 4 the parallel
+// variant is expected to run at least 2x faster; on a single core the two
+// collapse to the same serial execution (and identical results — see
+// TestParallelStudyMatchesSerial).
+func BenchmarkExperimentsFanout(b *testing.B) {
+	for _, cfg := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			defer par.SetWorkers(par.SetWorkers(cfg.workers))
+			for i := 0; i < b.N; i++ {
+				if _, err := newEnv(i).Fig10(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

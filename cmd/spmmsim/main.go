@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/par"
 )
 
 type runner func(e *experiments.Env, w io.Writer) error
@@ -26,6 +27,7 @@ type runner func(e *experiments.Env, w io.Writer) error
 func main() {
 	scale := flag.Int("scale", 64, "matrix scale divisor (paper sizes / scale)")
 	seed := flag.Int64("seed", 1, "generator seed")
+	workers := flag.Int("par", 0, "worker-pool size for the parallel engine (0 = GOMAXPROCS, 1 = serial)")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -33,6 +35,7 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	par.SetWorkers(*workers)
 	e := experiments.NewEnv(*scale, *seed)
 	names := flag.Args()
 	if len(names) == 1 && names[0] == "all" {

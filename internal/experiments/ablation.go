@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/gen"
+	"repro/internal/par"
 	"repro/internal/partition"
 	"repro/internal/reorder"
 	"repro/internal/sim"
@@ -35,13 +36,16 @@ type ReorderAblation struct {
 	AvgClusterSpeedup float64
 }
 
-// Reorder runs the reordering ablation on SPADE-Sextans (scale 4).
+// Reorder runs the reordering ablation on SPADE-Sextans (scale 4), one
+// concurrent job per benchmark (the reordered matrices are private to each
+// job, so nothing is shared beyond the read-only Env caches).
 func (e *Env) Reorder() (*ReorderAblation, error) {
 	a := arch.SpadeSextans(4)
 	a.TileH, a.TileW = e.TileSize(), e.TileSize()
-	out := &ReorderAblation{}
-	var slow, speed []float64
-	for _, b := range gen.Benchmarks() {
+	suite := gen.Benchmarks()
+	rows := make([]ReorderAblationRow, len(suite))
+	if err := par.ForEachErr(len(suite), func(i int) error {
+		b := suite[i]
 		m := e.Matrix(b)
 		run := func(mat *sparse.COO) (float64, float64, error) {
 			g, err := tile.Partition(mat, a.TileH, a.TileW)
@@ -62,24 +66,31 @@ func (e *Env) Reorder() (*ReorderAblation, error) {
 
 		clustered, err := reorder.Apply(m, reorder.BFSCluster(m))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		shuffled, err := reorder.Apply(m, reorder.Random(m.N, e.Seed))
 		if err != nil {
-			return nil, err
+			return err
 		}
 
 		row := ReorderAblationRow{Short: b.Short}
 		if row.Original, row.FracOriginal, err = run(m); err != nil {
-			return nil, err
+			return err
 		}
 		if row.Clustered, row.FracClustered, err = run(clustered); err != nil {
-			return nil, err
+			return err
 		}
 		if row.Shuffled, row.FracShuffled, err = run(shuffled); err != nil {
-			return nil, err
+			return err
 		}
-		out.Rows = append(out.Rows, row)
+		rows[i] = row
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	out := &ReorderAblation{Rows: rows}
+	var slow, speed []float64
+	for _, row := range rows {
 		slow = append(slow, row.Shuffled/row.Original)
 		speed = append(speed, row.Original/row.Clustered)
 	}

@@ -8,11 +8,11 @@ package experiments
 import (
 	"fmt"
 	"math"
-	"sync"
 
 	"repro/internal/arch"
 	"repro/internal/dense"
 	"repro/internal/gen"
+	"repro/internal/par"
 	"repro/internal/partition"
 	"repro/internal/semiring"
 	"repro/internal/sim"
@@ -20,8 +20,12 @@ import (
 	"repro/internal/tile"
 )
 
-// Env builds and caches benchmark matrices, tilings, and simulation runs so
-// experiments that share work (most of them) do not repeat it.
+// Env builds and caches benchmark matrices, tilings, per-tile model
+// estimates, and simulation runs so experiments that share work (most of
+// them) do not repeat it. All caches are per-key singleflight (par.Cache):
+// under the parallel experiments fan-out, concurrent requests for the same
+// key block on one builder and observe the same pointer, so work is never
+// duplicated and two distinct values are never published for one key.
 type Env struct {
 	// Scale divides the paper's row counts (DESIGN.md §2); 64 reproduces
 	// the evaluation in minutes, larger values suit tests.
@@ -29,21 +33,19 @@ type Env struct {
 	// Seed drives matrix generation and IUnaware's random assignment.
 	Seed int64
 
-	mu    sync.Mutex
-	mats  map[string]*sparse.COO
-	grids map[string]*tile.Grid
-	runs  map[string]*runOut
+	mats  par.Cache[string, *sparse.COO]
+	grids par.Cache[string, *tile.Grid]
+	// ests caches partition.Estimates per (arch name, benchmark, opsPerMAC)
+	// at the Env's tile size; arch names uniquely identify worker model
+	// parameters across the preset architectures, and every strategy of an
+	// (arch, benchmark) cell shares one entry.
+	ests par.Cache[string, *partition.Estimates]
+	runs par.Cache[string, *runOut]
 }
 
 // NewEnv returns an Env at the given matrix scale.
 func NewEnv(scale int, seed int64) *Env {
-	return &Env{
-		Scale: scale,
-		Seed:  seed,
-		mats:  map[string]*sparse.COO{},
-		grids: map[string]*tile.Grid{},
-		runs:  map[string]*runOut{},
-	}
+	return &Env{Scale: scale, Seed: seed}
 }
 
 // TileSize returns the tile dimension matching the matrix scale: the
@@ -61,34 +63,32 @@ func (e *Env) TileSize() int {
 
 // Matrix builds (or returns the cached) structural mimic of benchmark b.
 func (e *Env) Matrix(b gen.Benchmark) *sparse.COO {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if m, ok := e.mats[b.Short]; ok {
-		return m
-	}
-	m := b.Build(e.Seed, e.Scale)
-	e.mats[b.Short] = m
+	m, _ := e.mats.Get(b.Short, func() (*sparse.COO, error) {
+		return b.Build(e.Seed, e.Scale), nil
+	})
 	return m
 }
 
 // Grid tiles benchmark b's matrix at the given tile size (cached).
 func (e *Env) Grid(b gen.Benchmark, tileSize int) (*tile.Grid, error) {
-	m := e.Matrix(b)
 	key := fmt.Sprintf("%s/%d", b.Short, tileSize)
-	e.mu.Lock()
-	if g, ok := e.grids[key]; ok {
-		e.mu.Unlock()
-		return g, nil
-	}
-	e.mu.Unlock()
-	g, err := tile.Partition(m, tileSize, tileSize)
-	if err != nil {
-		return nil, err
-	}
-	e.mu.Lock()
-	e.grids[key] = g
-	e.mu.Unlock()
-	return g, nil
+	return e.grids.Get(key, func() (*tile.Grid, error) {
+		return tile.Partition(e.Matrix(b), tileSize, tileSize)
+	})
+}
+
+// estimates returns the cached per-tile model estimates for architecture a
+// (already at the Env's tile size) on benchmark b's grid.
+func (e *Env) estimates(a *arch.Arch, b gen.Benchmark, opsPerMAC float64) (*partition.Estimates, error) {
+	key := fmt.Sprintf("%s|%s|%g", a.Name, b.Short, opsPerMAC)
+	return e.ests.Get(key, func() (*partition.Estimates, error) {
+		g, err := e.Grid(b, a.TileH)
+		if err != nil {
+			return nil, err
+		}
+		cfg := a.Config(opsPerMAC)
+		return partition.NewEstimates(g, &cfg)
+	})
 }
 
 // Strategy identifiers reused across experiments.
@@ -113,98 +113,81 @@ type runOut struct {
 func (e *Env) exec(a arch.Arch, b gen.Benchmark, strat string, opsPerMAC float64) (*runOut, error) {
 	a.TileH, a.TileW = e.TileSize(), e.TileSize()
 	key := fmt.Sprintf("%s|%s|%s|%g", a.Name, b.Short, strat, opsPerMAC)
-	e.mu.Lock()
-	if r, ok := e.runs[key]; ok {
-		e.mu.Unlock()
-		return r, nil
-	}
-	e.mu.Unlock()
+	return e.runs.Get(key, func() (*runOut, error) {
+		es, err := e.estimates(&a, b, opsPerMAC)
+		if err != nil {
+			return nil, err
+		}
+		g := es.Grid
+		cfg := a.Config(opsPerMAC)
 
-	g, err := e.Grid(b, a.TileH)
-	if err != nil {
-		return nil, err
-	}
-	cfg := a.Config(opsPerMAC)
+		var part partition.Result
+		serial := false
+		switch strat {
+		case StratHotOnly:
+			hot := partition.AllHot(g)
+			pred, tot, err := partition.PredictFrom(es, &cfg, hot, false)
+			if err != nil {
+				return nil, err
+			}
+			part = partition.Result{Hot: hot, Predicted: pred, Totals: tot}
+		case StratColdOnly:
+			cold := partition.AllCold(g)
+			pred, tot, err := partition.PredictFrom(es, &cfg, cold, false)
+			if err != nil {
+				return nil, err
+			}
+			part = partition.Result{Hot: cold, Predicted: pred, Totals: tot}
+		case StratIUnaware:
+			part, err = partition.IUnawareFrom(es, cfg, e.Seed)
+			if err != nil {
+				return nil, err
+			}
+		case StratHotTiles:
+			part, err = partition.HotTilesFrom(es, cfg)
+			if err != nil {
+				return nil, err
+			}
+			serial = part.Serial
+		default:
+			return nil, fmt.Errorf("experiments: unknown strategy %q", strat)
+		}
 
-	var part partition.Result
-	serial := false
-	switch strat {
-	case StratHotOnly:
-		hot := partition.AllHot(g)
-		pred, tot, err := partition.Predict(g, &cfg, hot, false)
+		// The simulator must see the same arithmetic intensity the
+		// partitioner planned for.
+		sr := semiring.PlusTimes()
+		sr.OpsPerMAC = opsPerMAC
+		r, err := sim.Run(g, part.Hot, &a, nil, sim.Options{
+			Serial:         serial,
+			Semiring:       &sr,
+			SkipFunctional: true,
+		})
 		if err != nil {
 			return nil, err
 		}
-		part = partition.Result{Hot: hot, Predicted: pred, Totals: tot}
-	case StratColdOnly:
-		cold := partition.AllCold(g)
-		pred, tot, err := partition.Predict(g, &cfg, cold, false)
-		if err != nil {
-			return nil, err
-		}
-		part = partition.Result{Hot: cold, Predicted: pred, Totals: tot}
-	case StratIUnaware:
-		part, err = partition.IUnaware(g, cfg, e.Seed)
-		if err != nil {
-			return nil, err
-		}
-	case StratHotTiles:
-		part, err = partition.HotTiles(g, cfg)
-		if err != nil {
-			return nil, err
-		}
-		serial = part.Serial
-	default:
-		return nil, fmt.Errorf("experiments: unknown strategy %q", strat)
-	}
-
-	// The simulator must see the same arithmetic intensity the partitioner
-	// planned for.
-	sr := semiring.PlusTimes()
-	sr.OpsPerMAC = opsPerMAC
-	r, err := sim.Run(g, part.Hot, &a, nil, sim.Options{
-		Serial:         serial,
-		Semiring:       &sr,
-		SkipFunctional: true,
+		return &runOut{Time: r.Time, Sim: r, Part: part, Predicted: part.Predicted}, nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	out := &runOut{Time: r.Time, Sim: r, Part: part, Predicted: part.Predicted}
-	e.mu.Lock()
-	e.runs[key] = out
-	e.mu.Unlock()
-	return out, nil
 }
 
 // execHeuristic forces one HotTiles heuristic (Figure 12).
 func (e *Env) execHeuristic(a arch.Arch, b gen.Benchmark, h partition.Heuristic) (*runOut, error) {
 	a.TileH, a.TileW = e.TileSize(), e.TileSize()
 	key := fmt.Sprintf("%s|%s|heur:%v", a.Name, b.Short, h)
-	e.mu.Lock()
-	if r, ok := e.runs[key]; ok {
-		e.mu.Unlock()
-		return r, nil
-	}
-	e.mu.Unlock()
-
-	g, err := e.Grid(b, a.TileH)
-	if err != nil {
-		return nil, err
-	}
-	part, err := partition.RunHeuristic(g, a.Config(2), h)
-	if err != nil {
-		return nil, err
-	}
-	r, err := sim.Run(g, part.Hot, &a, nil, sim.Options{Serial: part.Serial, SkipFunctional: true})
-	if err != nil {
-		return nil, err
-	}
-	out := &runOut{Time: r.Time, Sim: r, Part: part, Predicted: part.Predicted}
-	e.mu.Lock()
-	e.runs[key] = out
-	e.mu.Unlock()
-	return out, nil
+	return e.runs.Get(key, func() (*runOut, error) {
+		es, err := e.estimates(&a, b, 2)
+		if err != nil {
+			return nil, err
+		}
+		part, err := partition.RunHeuristicFrom(es, a.Config(2), h)
+		if err != nil {
+			return nil, err
+		}
+		r, err := sim.Run(es.Grid, part.Hot, &a, nil, sim.Options{Serial: part.Serial, SkipFunctional: true})
+		if err != nil {
+			return nil, err
+		}
+		return &runOut{Time: r.Time, Sim: r, Part: part, Predicted: part.Predicted}, nil
+	})
 }
 
 // Verify functionally executes benchmark b's HotTiles partitioning on

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/gen"
+	"repro/internal/par"
 )
 
 // Fig17Result is the prediction-error study: per matrix and architecture,
@@ -33,20 +34,34 @@ type Fig17Row struct {
 }
 
 // Fig17 reproduces the prediction-error figure on SPADE-Sextans (scale 4)
-// and PIUMA.
+// and PIUMA. All (arch, benchmark, strategy) cells run concurrently; the
+// serial reduction walks them in the original nesting order.
 func (e *Env) Fig17() (*Fig17Result, error) {
+	archs := []arch.Arch{arch.SpadeSextans(4), arch.PIUMA()}
+	suite := gen.Benchmarks()
+	strategies := []string{StratHotOnly, StratColdOnly, StratHotTiles}
+	rels := make([]float64, len(archs)*len(suite)*len(strategies))
+	if err := par.ForEachErr(len(rels), func(i int) error {
+		a := archs[i/(len(suite)*len(strategies))]
+		b := suite[i/len(strategies)%len(suite)]
+		s := strategies[i%len(strategies)]
+		r, err := e.exec(a, b, s, 2)
+		if err != nil {
+			return err
+		}
+		rels[i] = (r.Predicted - r.Time) / r.Time
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	out := &Fig17Result{AvgError: map[string]float64{}}
 	sums := map[string][]float64{}
-	for _, a := range []arch.Arch{arch.SpadeSextans(4), arch.PIUMA()} {
+	for ai, a := range archs {
 		fa := Fig17Arch{ArchName: a.Name}
-		for _, b := range gen.Benchmarks() {
+		for bi, b := range suite {
 			row := Fig17Row{Short: b.Short}
-			for _, s := range []string{StratHotOnly, StratColdOnly, StratHotTiles} {
-				r, err := e.exec(a, b, s, 2)
-				if err != nil {
-					return nil, err
-				}
-				rel := (r.Predicted - r.Time) / r.Time
+			for si, s := range strategies {
+				rel := rels[(ai*len(suite)+bi)*len(strategies)+si]
 				switch s {
 				case StratHotOnly:
 					row.HotOnly = rel

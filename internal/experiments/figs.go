@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/gen"
+	"repro/internal/par"
 )
 
 // StrategyRow holds one matrix's runtimes for the standard strategy set and
@@ -49,18 +50,29 @@ type StrategyStudy struct {
 	AvgSpeedupOver map[string]float64
 }
 
-// runStudy executes the given strategies for every benchmark on a.
+// runStudy executes the given strategies for every benchmark on a. The
+// (benchmark, strategy) cells run concurrently; each writes only its own
+// slot and the reduction below walks the slots in the original order, so
+// the result is bit-identical to the serial evaluation.
 func (e *Env) runStudy(a arch.Arch, suite []gen.Benchmark, strategies []string) (*StrategyStudy, error) {
 	st := &StrategyStudy{ArchName: a.Name, Strategies: strategies}
+	cells := make([]float64, len(suite)*len(strategies))
+	if err := par.ForEachErr(len(cells), func(i int) error {
+		b, s := suite[i/len(strategies)], strategies[i%len(strategies)]
+		r, err := e.exec(a, b, s, 2)
+		if err != nil {
+			return fmt.Errorf("%s/%s: %w", b.Short, s, err)
+		}
+		cells[i] = r.Time
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	ratios := map[string][]float64{}
-	for _, b := range suite {
+	for bi, b := range suite {
 		times := map[string]float64{}
-		for _, s := range strategies {
-			r, err := e.exec(a, b, s, 2)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", b.Short, s, err)
-			}
-			times[s] = r.Time
+		for si, s := range strategies {
+			times[s] = cells[bi*len(strategies)+si]
 		}
 		row := makeRow(b.Short, times)
 		st.Rows = append(st.Rows, row)
@@ -218,28 +230,31 @@ type Fig13Result struct {
 	AvgVsHotOnly8, AvgVsColdOnly8 float64
 }
 
-// Fig13 reproduces the iso-resource comparison of Figure 13.
+// Fig13 reproduces the iso-resource comparison of Figure 13. The
+// per-benchmark rows are computed concurrently into indexed slots.
 func (e *Env) Fig13() (*Fig13Result, error) {
-	out := &Fig13Result{}
-	var vh, vc []float64
-	for _, b := range gen.Benchmarks() {
+	type fig13Row = struct {
+		Short                      string
+		VsHotOnly8, VsColdOnly8    float64
+		HotTiles4, HotOnly8, Cold8 float64
+	}
+	suite := gen.Benchmarks()
+	rows := make([]fig13Row, len(suite))
+	if err := par.ForEachErr(len(suite), func(i int) error {
+		b := suite[i]
 		ht4, err := e.exec(arch.SpadeSextans(4), b, StratHotTiles, 2)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		hot8, err := e.exec(arch.SpadeSextansSkewed(0, 8), b, StratHotOnly, 2)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cold8, err := e.exec(arch.SpadeSextansSkewed(8, 0), b, StratColdOnly, 2)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		row := struct {
-			Short                      string
-			VsHotOnly8, VsColdOnly8    float64
-			HotTiles4, HotOnly8, Cold8 float64
-		}{
+		rows[i] = fig13Row{
 			Short:       b.Short,
 			VsHotOnly8:  hot8.Time / ht4.Time,
 			VsColdOnly8: cold8.Time / ht4.Time,
@@ -247,7 +262,13 @@ func (e *Env) Fig13() (*Fig13Result, error) {
 			HotOnly8:    hot8.Time,
 			Cold8:       cold8.Time,
 		}
-		out.Rows = append(out.Rows, row)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	out := &Fig13Result{Rows: rows}
+	var vh, vc []float64
+	for _, row := range rows {
 		vh = append(vh, row.VsHotOnly8)
 		vc = append(vc, row.VsColdOnly8)
 	}
@@ -286,31 +307,44 @@ type Fig14Result struct {
 func (e *Env) Fig14() (*Fig14Result, error) {
 	a := arch.SpadeSextansPCIe()
 	out := &Fig14Result{}
+	intensities := []int{2, 8, 32, 128, 512}
+	suite := gen.Benchmarks()
+	// One cell per (intensity, benchmark) pair, filled concurrently.
+	type fig14Cell struct{ ht, ho, co, frac float64 }
+	cells := make([]fig14Cell, len(intensities)*len(suite))
+	if err := par.ForEachErr(len(cells), func(i int) error {
+		ops, b := intensities[i/len(suite)], suite[i%len(suite)]
+		ht, err := e.exec(a, b, StratHotTiles, float64(ops))
+		if err != nil {
+			return err
+		}
+		ho, err := e.exec(a, b, StratHotOnly, float64(ops))
+		if err != nil {
+			return err
+		}
+		co, err := e.exec(a, b, StratColdOnly, float64(ops))
+		if err != nil {
+			return err
+		}
+		g, err := e.Grid(b, e.TileSize())
+		if err != nil {
+			return err
+		}
+		_, frac := ht.Part.HotNNZ(g)
+		cells[i] = fig14Cell{ht: ht.Time, ho: ho.Time, co: co.Time, frac: frac}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	var vh, vc, vb []float64
-	for _, ops := range []int{2, 8, 32, 128, 512} {
+	for oi, ops := range intensities {
 		var hts, hos, cos, fracs []float64
-		for _, b := range gen.Benchmarks() {
-			ht, err := e.exec(a, b, StratHotTiles, float64(ops))
-			if err != nil {
-				return nil, err
-			}
-			ho, err := e.exec(a, b, StratHotOnly, float64(ops))
-			if err != nil {
-				return nil, err
-			}
-			co, err := e.exec(a, b, StratColdOnly, float64(ops))
-			if err != nil {
-				return nil, err
-			}
-			g, err := e.Grid(b, e.TileSize())
-			if err != nil {
-				return nil, err
-			}
-			_, frac := ht.Part.HotNNZ(g)
-			hts = append(hts, ht.Time)
-			hos = append(hos, ho.Time)
-			cos = append(cos, co.Time)
-			fracs = append(fracs, frac)
+		for bi := range suite {
+			c := cells[oi*len(suite)+bi]
+			hts = append(hts, c.ht)
+			hos = append(hos, c.ho)
+			cos = append(cos, c.co)
+			fracs = append(fracs, c.frac)
 		}
 		row := struct {
 			SIMDOpsPerNNZ int

@@ -7,6 +7,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/gen"
 	"repro/internal/model"
+	"repro/internal/par"
 	"repro/internal/partition"
 	"repro/internal/semiring"
 	"repro/internal/sim"
@@ -29,16 +30,19 @@ type KernelsStudy struct {
 	AvgSDDMMOverSpMM float64
 }
 
-// Kernels runs the kernel study on SPADE-Sextans (scale 4).
+// Kernels runs the kernel study on SPADE-Sextans (scale 4), one concurrent
+// job per benchmark. The non-SpMM kernels deliberately bypass the Env's
+// estimates cache (its keys do not carry the kernel) and partition directly.
 func (e *Env) Kernels() (*KernelsStudy, error) {
 	base := arch.SpadeSextans(4)
 	base.TileH, base.TileW = e.TileSize(), e.TileSize()
-	out := &KernelsStudy{}
-	var ratios []float64
-	for _, b := range gen.Benchmarks() {
+	suite := gen.Benchmarks()
+	rows := make([]KernelsRow, len(suite))
+	if err := par.ForEachErr(len(suite), func(i int) error {
+		b := suite[i]
 		g, err := e.Grid(b, base.TileH)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := KernelsRow{Short: b.Short}
 		for _, k := range []model.Kernel{model.KernelSpMM, model.KernelSpMV, model.KernelSDDMM} {
@@ -51,14 +55,14 @@ func (e *Env) Kernels() (*KernelsStudy, error) {
 			}
 			res, err := partition.HotTiles(g, cfg)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			sr := semiring.PlusTimes()
 			r, err := sim.Run(g, res.Hot, &a, nil, sim.Options{
 				Serial: res.Serial, Kernel: k, Semiring: &sr, SkipFunctional: true,
 			})
 			if err != nil {
-				return nil, err
+				return err
 			}
 			_, frac := res.HotNNZ(g)
 			switch k {
@@ -70,7 +74,14 @@ func (e *Env) Kernels() (*KernelsStudy, error) {
 				row.SDDMM, row.FracSDDMM = r.Time, frac
 			}
 		}
-		out.Rows = append(out.Rows, row)
+		rows[i] = row
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	out := &KernelsStudy{Rows: rows}
+	var ratios []float64
+	for _, row := range rows {
 		ratios = append(ratios, row.SDDMM/row.SpMM)
 	}
 	out.AvgSDDMMOverSpMM = geomean(ratios)

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/gen"
+	"repro/internal/par"
 	"repro/internal/partition"
 )
 
@@ -35,37 +36,60 @@ func (e *Env) Fig12() (*Fig12Result, error) {
 		partition.MinTimeParallel, partition.MinTimeSerial,
 		partition.MinByteParallel, partition.MinByteSerial,
 	}
-	for _, scale := range []int{1, 2, 4, 8} {
-		a := arch.SpadeSextans(scale)
+	scales := []int{1, 2, 4, 8}
+	suite := gen.Benchmarks()
+	// One concurrent job per (scale, benchmark) pair; each job runs its
+	// strategies and heuristics serially and fills its own slot.
+	type fig12Cell struct {
+		htRatio   float64
+		heuRatios [4]float64
+		bw        float64
+	}
+	cells := make([]fig12Cell, len(scales)*len(suite))
+	if err := par.ForEachErr(len(cells), func(i int) error {
+		a := arch.SpadeSextans(scales[i/len(suite)])
+		b := suite[i%len(suite)]
+		ho, err := e.exec(a, b, StratHotOnly, 2)
+		if err != nil {
+			return err
+		}
+		co, err := e.exec(a, b, StratColdOnly, 2)
+		if err != nil {
+			return err
+		}
+		best := ho.Time
+		if co.Time < best {
+			best = co.Time
+		}
+		cell := fig12Cell{bw: (ho.Sim.BandwidthUtil() + co.Sim.BandwidthUtil()) / 2}
+
+		ht, err := e.exec(a, b, StratHotTiles, 2)
+		if err != nil {
+			return err
+		}
+		cell.htRatio = best / ht.Time
+		for hi, h := range heuristics {
+			r, err := e.execHeuristic(a, b, h)
+			if err != nil {
+				return err
+			}
+			cell.heuRatios[hi] = best / r.Time
+		}
+		cells[i] = cell
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for si, scale := range scales {
 		row := Fig12Row{Scale: scale, SpeedupVsBestHom: map[string]float64{}}
 		ratios := map[string][]float64{}
 		var bw []float64
-		for _, b := range gen.Benchmarks() {
-			ho, err := e.exec(a, b, StratHotOnly, 2)
-			if err != nil {
-				return nil, err
-			}
-			co, err := e.exec(a, b, StratColdOnly, 2)
-			if err != nil {
-				return nil, err
-			}
-			best := ho.Time
-			if co.Time < best {
-				best = co.Time
-			}
-			bw = append(bw, (ho.Sim.BandwidthUtil()+co.Sim.BandwidthUtil())/2)
-
-			ht, err := e.exec(a, b, StratHotTiles, 2)
-			if err != nil {
-				return nil, err
-			}
-			ratios[StratHotTiles] = append(ratios[StratHotTiles], best/ht.Time)
-			for _, h := range heuristics {
-				r, err := e.execHeuristic(a, b, h)
-				if err != nil {
-					return nil, err
-				}
-				ratios[h.String()] = append(ratios[h.String()], best/r.Time)
+		for bi := range suite {
+			c := cells[si*len(suite)+bi]
+			bw = append(bw, c.bw)
+			ratios[StratHotTiles] = append(ratios[StratHotTiles], c.htRatio)
+			for hi, h := range heuristics {
+				ratios[h.String()] = append(ratios[h.String()], c.heuRatios[hi])
 			}
 		}
 		for name, rs := range ratios {
@@ -121,20 +145,31 @@ func (e *Env) Fig16() (*Fig16Result, error) {
 		names[c] = fmt.Sprintf("%d-%d", c, total-c)
 	}
 
-	for _, b := range gen.Benchmarks() {
-		// Baseline 4-4 runtimes for this matrix.
+	// All (benchmark, skew) cells run concurrently; the 4-4 baseline each
+	// job fetches deduplicates through the singleflight run cache.
+	suite := gen.Benchmarks()
+	type fig16Cell struct{ predRatio, actRatio float64 }
+	cells := make([]fig16Cell, len(suite)*(total+1))
+	if err := par.ForEachErr(len(cells), func(i int) error {
+		b, c := suite[i/(total+1)], i%(total+1)
 		base, err := e.exec(arch.SpadeSextans(4), b, StratHotTiles, 2)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		r, err := e.exec(arch.SpadeSextansSkewed(c, total-c), b, StratHotTiles, 2)
+		if err != nil {
+			return err
+		}
+		cells[i] = fig16Cell{predRatio: base.Predicted / r.Predicted, actRatio: base.Time / r.Time}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for bi := range suite {
 		for c := 0; c <= total; c++ {
-			a := arch.SpadeSextansSkewed(c, total-c)
-			r, err := e.exec(a, b, StratHotTiles, 2)
-			if err != nil {
-				return nil, err
-			}
-			accums[c].pred = append(accums[c].pred, base.Predicted/r.Predicted)
-			accums[c].act = append(accums[c].act, base.Time/r.Time)
+			cell := cells[bi*(total+1)+c]
+			accums[c].pred = append(accums[c].pred, cell.predRatio)
+			accums[c].act = append(accums[c].act, cell.actRatio)
 		}
 	}
 	out := &Fig16Result{Names: names}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/gen"
+	"repro/internal/par"
 )
 
 // TableVIResult holds the absolute simulated runtimes for SPADE-Sextans
@@ -20,26 +21,29 @@ type TableVIRow struct {
 	HotOnly, ColdOnly, BestHom, IUnaware, HotTiles float64
 }
 
-// TableVI reproduces the absolute-runtime table.
+// TableVI reproduces the absolute-runtime table, one concurrent job per
+// benchmark row.
 func (e *Env) TableVI() (*TableVIResult, error) {
 	a := arch.SpadeSextans(4)
-	out := &TableVIResult{}
-	for _, b := range gen.Benchmarks() {
+	suite := gen.Benchmarks()
+	rows := make([]TableVIRow, len(suite))
+	if err := par.ForEachErr(len(suite), func(i int) error {
+		b := suite[i]
 		ho, err := e.exec(a, b, StratHotOnly, 2)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		co, err := e.exec(a, b, StratColdOnly, 2)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		iu, err := e.exec(a, b, StratIUnaware, 2)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ht, err := e.exec(a, b, StratHotTiles, 2)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := TableVIRow{
 			Short:    b.Short,
@@ -52,9 +56,12 @@ func (e *Env) TableVI() (*TableVIResult, error) {
 		if row.ColdOnly < row.BestHom {
 			row.BestHom = row.ColdOnly
 		}
-		out.Rows = append(out.Rows, row)
+		rows[i] = row
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &TableVIResult{Rows: rows}, nil
 }
 
 // Render prints Table VI.
@@ -97,23 +104,39 @@ func (e *Env) TableVII() (*TableVIIResult, error) {
 			ColdGFLOPs:   map[string]float64{},
 			HotGFLOPs:    map[string]float64{},
 		}
-		for _, s := range strategies {
+		suite := gen.Benchmarks()
+		type tableVIICell struct{ bw, lines, cold, hot float64 }
+		cells := make([]tableVIICell, len(strategies)*len(suite))
+		if err := par.ForEachErr(len(cells), func(i int) error {
+			s, b := strategies[i/len(suite)], suite[i%len(suite)]
+			r, err := e.exec(a, b, s, 2)
+			if err != nil {
+				return err
+			}
+			m := e.Matrix(b)
+			cells[i] = tableVIICell{
+				bw:    r.Sim.BandwidthUtil() / 1e9,
+				lines: r.Sim.CacheLinesPerNNZ(m.NNZ()),
+				cold:  r.Sim.ColdGFLOPs(),
+				hot:   r.Sim.HotGFLOPs(),
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		for si, s := range strategies {
 			var bw, lines, cold, hot []float64
-			for _, b := range gen.Benchmarks() {
-				r, err := e.exec(a, b, s, 2)
-				if err != nil {
-					return nil, err
-				}
-				m := e.Matrix(b)
-				bw = append(bw, r.Sim.BandwidthUtil()/1e9)
-				lines = append(lines, r.Sim.CacheLinesPerNNZ(m.NNZ()))
+			for bi := range suite {
+				c := cells[si*len(suite)+bi]
+				bw = append(bw, c.bw)
+				lines = append(lines, c.lines)
 				// Geomeans need positive values; idle pools report 0
 				// GFLOP/s in the paper's table, rendered below as 0.
-				if g := r.Sim.ColdGFLOPs(); g > 0 {
-					cold = append(cold, g)
+				if c.cold > 0 {
+					cold = append(cold, c.cold)
 				}
-				if g := r.Sim.HotGFLOPs(); g > 0 {
-					hot = append(hot, g)
+				if c.hot > 0 {
+					hot = append(hot, c.hot)
 				}
 			}
 			sc.BandwidthGBs[s] = geomean(bw)
@@ -169,13 +192,30 @@ type TableIXRow struct {
 	Correct              bool
 }
 
-// TableIX reproduces the per-matrix architecture-selection table.
+// TableIX reproduces the per-matrix architecture-selection table. All
+// (benchmark, skew) cells run concurrently; the 4-4 baseline deduplicates
+// with the c=4 cell through the Env's singleflight run cache.
 func (e *Env) TableIX() (*TableIXResult, error) {
 	const total = 8
+	suite := gen.Benchmarks()
+	type tableIXCell struct{ pred, act float64 }
+	cells := make([]tableIXCell, len(suite)*(total+1))
+	if err := par.ForEachErr(len(cells), func(i int) error {
+		b, c := suite[i/(total+1)], i%(total+1)
+		a := arch.SpadeSextansSkewed(c, total-c)
+		r, err := e.exec(a, b, StratHotTiles, 2)
+		if err != nil {
+			return err
+		}
+		cells[i] = tableIXCell{pred: r.Predicted, act: r.Time}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	out := &TableIXResult{}
 	var predS, oracleS []float64
 	correct := 0
-	for _, b := range gen.Benchmarks() {
+	for bi, b := range suite {
 		base, err := e.exec(arch.SpadeSextans(4), b, StratHotTiles, 2)
 		if err != nil {
 			return nil, err
@@ -183,17 +223,13 @@ func (e *Env) TableIX() (*TableIXResult, error) {
 		bestPredIdx, bestActIdx := 0, 0
 		var preds, acts []float64
 		for c := 0; c <= total; c++ {
-			a := arch.SpadeSextansSkewed(c, total-c)
-			r, err := e.exec(a, b, StratHotTiles, 2)
-			if err != nil {
-				return nil, err
-			}
-			preds = append(preds, r.Predicted)
-			acts = append(acts, r.Time)
-			if r.Predicted < preds[bestPredIdx] {
+			cell := cells[bi*(total+1)+c]
+			preds = append(preds, cell.pred)
+			acts = append(acts, cell.act)
+			if cell.pred < preds[bestPredIdx] {
 				bestPredIdx = c
 			}
-			if r.Time < acts[bestActIdx] {
+			if cell.act < acts[bestActIdx] {
 				bestActIdx = c
 			}
 		}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/gen"
+	"repro/internal/par"
 	"repro/internal/partition"
 	"repro/internal/sim"
 )
@@ -38,54 +39,73 @@ func (e *Env) VisLat() (*VisLatSensitivity, error) {
 	base.TileH, base.TileW = e.TileSize(), e.TileSize()
 	out := &VisLatSensitivity{}
 
-	// Baseline runtimes and fractions per matrix.
+	// Baseline runtimes and fractions per matrix, one concurrent job each.
 	type baseline struct {
 		time float64
 		frac float64
 	}
-	baselines := map[string]baseline{}
-	for _, b := range gen.Benchmarks() {
+	suite := gen.Benchmarks()
+	bls := make([]baseline, len(suite))
+	if err := par.ForEachErr(len(suite), func(i int) error {
+		b := suite[i]
 		r, err := e.exec(base, b, StratHotTiles, 2)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		g, err := e.Grid(b, base.TileH)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		_, frac := r.Part.HotNNZ(g)
-		baselines[b.Short] = baseline{r.Time, frac}
+		bls[i] = baseline{r.Time, frac}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 
-	for _, factor := range []float64{0.25, 0.5, 1, 2, 4} {
+	// All (factor, benchmark) perturbation cells run concurrently; each job
+	// perturbs its own copy of the architecture (workers are held by value).
+	factors := []float64{0.25, 0.5, 1, 2, 4}
+	type visLatCell struct{ ratio, delta float64 }
+	cells := make([]visLatCell, len(factors)*len(suite))
+	if err := par.ForEachErr(len(cells), func(i int) error {
+		factor, bi := factors[i/len(suite)], i%len(suite)
+		b := suite[bi]
+		a := base
+		a.Hot.VisLatPerByte *= factor
+		a.Cold.VisLatPerByte *= factor
+		g, err := e.Grid(b, a.TileH)
+		if err != nil {
+			return err
+		}
+		res, err := partition.HotTiles(g, a.Config(2))
+		if err != nil {
+			return err
+		}
+		// Simulate with the *calibrated* architecture: the perturbation
+		// only affected the planning model.
+		r, err := sim.Run(g, res.Hot, &base, nil, sim.Options{Serial: res.Serial, SkipFunctional: true})
+		if err != nil {
+			return err
+		}
+		bl := bls[bi]
+		_, frac := res.HotNNZ(g)
+		d := frac - bl.frac
+		if d < 0 {
+			d = -d
+		}
+		cells[i] = visLatCell{ratio: r.Time / bl.time, delta: d}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for fi, factor := range factors {
 		row := VisLatRow{Factor: factor}
 		var ratios, deltas []float64
-		for _, b := range gen.Benchmarks() {
-			a := base
-			a.Hot.VisLatPerByte *= factor
-			a.Cold.VisLatPerByte *= factor
-			g, err := e.Grid(b, a.TileH)
-			if err != nil {
-				return nil, err
-			}
-			res, err := partition.HotTiles(g, a.Config(2))
-			if err != nil {
-				return nil, err
-			}
-			// Simulate with the *calibrated* architecture: the perturbation
-			// only affected the planning model.
-			r, err := sim.Run(g, res.Hot, &base, nil, sim.Options{Serial: res.Serial, SkipFunctional: true})
-			if err != nil {
-				return nil, err
-			}
-			bl := baselines[b.Short]
-			ratios = append(ratios, r.Time/bl.time)
-			_, frac := res.HotNNZ(g)
-			d := frac - bl.frac
-			if d < 0 {
-				d = -d
-			}
-			deltas = append(deltas, d)
+		for bi := range suite {
+			c := cells[fi*len(suite)+bi]
+			ratios = append(ratios, c.ratio)
+			deltas = append(deltas, c.delta)
 		}
 		row.AvgRuntimeVsBaseline = geomean(ratios)
 		row.AvgHotFracDelta = mean(deltas)

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"repro/internal/arch"
+	"repro/internal/par"
 	"repro/internal/partition"
 	"repro/internal/sim"
 	"repro/internal/sparse"
@@ -35,33 +36,41 @@ func IsoScale(m *sparse.COO, total, tileSize int) ([]Entry, error) {
 	if total < 1 {
 		return nil, fmt.Errorf("explore: total scale %d < 1", total)
 	}
-	var out []Entry
-	for c := 0; c <= total; c++ {
+	// The tiling only depends on m and tileSize, not on the skew: build the
+	// grid once instead of once per architecture. The skewed architectures'
+	// worker parameters do vary with the scale, so estimates are per-entry.
+	g, err := tile.Partition(m, tileSize, tileSize)
+	if err != nil {
+		return nil, err
+	}
+	// The c-loop entries are independent (HotTiles and the simulator only
+	// read the shared grid); run them concurrently into indexed slots.
+	out := make([]Entry, total+1)
+	if err := par.ForEachErr(total+1, func(c int) error {
 		h := total - c
 		a := arch.SpadeSextansSkewed(c, h)
 		a.TileH, a.TileW = tileSize, tileSize
-		g, err := tile.Partition(m, a.TileH, a.TileW)
-		if err != nil {
-			return nil, err
-		}
 		res, err := partition.HotTiles(g, a.Config(2))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		r, err := sim.Run(g, res.Hot, &a, nil, sim.Options{
 			Serial:         res.Serial,
 			SkipFunctional: true,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, Entry{
+		out[c] = Entry{
 			ColdScale: c,
 			HotScale:  h,
 			Predicted: res.Predicted,
 			Actual:    r.Time,
 			Result:    res,
-		})
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -3,6 +3,7 @@ package model
 import (
 	"math"
 
+	"repro/internal/par"
 	"repro/internal/tile"
 )
 
@@ -82,12 +83,16 @@ func EstimateTile(w *Worker, t *tile.Tile, g *tile.Grid, p Params) Estimate {
 }
 
 // EstimateGrid evaluates EstimateTile for every tile of the grid, returning
-// a slice indexed like g.Tiles.
+// a slice indexed like g.Tiles. Tiles are evaluated on the shared worker
+// pool; each writes only its own slot, so the result is bit-identical to a
+// serial evaluation.
 func EstimateGrid(w *Worker, g *tile.Grid, p Params) []Estimate {
 	out := make([]Estimate, len(g.Tiles))
-	for i := range g.Tiles {
-		out[i] = EstimateTile(w, &g.Tiles[i], g, p)
-	}
+	par.Chunks(len(g.Tiles), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = EstimateTile(w, &g.Tiles[i], g, p)
+		}
+	})
 	return out
 }
 

@@ -1,0 +1,69 @@
+package model
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/par"
+	"repro/internal/sparse"
+	"repro/internal/tile"
+)
+
+// TestEstimateGridParallelMatchesSerial is the determinism property test
+// for the parallel EstimateGrid: on random matrices and varied worker
+// models, the chunked parallel evaluation must be bit-identical
+// (reflect.DeepEqual, no tolerance) to a serial per-tile loop.
+func TestEstimateGridParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	workers := []*Worker{
+		testWorker(Cold),
+		func() *Worker {
+			w := testWorker(Hot)
+			w.MACsPerCycle = 20
+			w.DinReuse = ReuseIntraStream
+			w.DoutReuse = ReuseInter
+			w.TiledTraversal = true
+			return w
+		}(),
+		func() *Worker {
+			w := testWorker(Cold)
+			w.Format = FormatCSR
+			w.DoutReuse = ReuseIntraDemand
+			w.ScratchpadBytes = 1 << 14
+			return w
+		}(),
+	}
+	p := Params{K: 16, OpsPerMAC: 2}
+
+	for trial := 0; trial < 5; trial++ {
+		n := 64 + rng.Intn(192)
+		nnz := 1 + rng.Intn(4*n)
+		m := sparse.NewCOO(n, nnz)
+		for i := 0; i < nnz; i++ {
+			m.Append(int32(rng.Intn(n)), int32(rng.Intn(n)), 1)
+		}
+		m.SortRowMajor()
+		g, err := tile.Partition(m, 32, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for wi, w := range workers {
+			serial := make([]Estimate, len(g.Tiles))
+			func() {
+				defer par.SetWorkers(par.SetWorkers(1))
+				for i := range g.Tiles {
+					serial[i] = EstimateTile(w, &g.Tiles[i], g, p)
+				}
+			}()
+			var parallel []Estimate
+			func() {
+				defer par.SetWorkers(par.SetWorkers(8))
+				parallel = EstimateGrid(w, g, p)
+			}()
+			if !reflect.DeepEqual(serial, parallel) {
+				t.Fatalf("trial %d worker %d: parallel EstimateGrid differs from serial", trial, wi)
+			}
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package par
+
+import "sync"
+
+// Cache is a per-key singleflight memo. The first Get for a key runs build
+// exactly once; concurrent Gets for the same key block until that build
+// finishes and then observe the same value and error. No lock is held
+// while build runs, so builds for distinct keys proceed concurrently and
+// builds may themselves call Get (on this or another Cache) for different
+// keys.
+//
+// Errors are cached alongside values: the builds memoized here are
+// deterministic (same key, same outcome), so retrying a failed build would
+// only repeat the failure.
+//
+// The zero value is ready to use.
+type Cache[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*flight[V]
+}
+
+type flight[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Get returns the cached value for key, building it with build on the
+// first call. Concurrent callers for the same key share one build.
+func (c *Cache[K, V]) Get(key K, build func() (V, error)) (V, error) {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = map[K]*flight[V]{}
+	}
+	if f, ok := c.m[key]; ok {
+		c.mu.Unlock()
+		<-f.done
+		return f.val, f.err
+	}
+	f := &flight[V]{done: make(chan struct{})}
+	c.m[key] = f
+	c.mu.Unlock()
+
+	f.val, f.err = build()
+	close(f.done)
+	return f.val, f.err
+}

@@ -1,0 +1,129 @@
+// Package par provides the shared bounded worker pool and the per-key
+// singleflight cache that parallelize the analytical model, the tiler, and
+// the experiment harness. The pool is sized by GOMAXPROCS (overridable for
+// tests and benchmarks via SetWorkers) and is safe to use from nested
+// parallel sections: the calling goroutine always participates in its own
+// fan-out, and extra goroutines join only while the global budget has
+// slack, so recursive ForEach calls can never deadlock and total
+// concurrency stays near the pool size.
+//
+// Determinism contract: ForEach/Chunks run items concurrently in an
+// unspecified order; callers keep results bit-identical to a serial
+// execution by having each item write only its own output slot and by
+// performing all reductions serially afterwards, in the original order.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// override holds the SetWorkers value; 0 means "use GOMAXPROCS".
+var override atomic.Int32
+
+// extra counts the pool goroutines currently running beyond the callers
+// themselves; it is bounded by Workers()-1.
+var extra atomic.Int32
+
+// Workers returns the fan-out bound: the SetWorkers override when one is
+// set, otherwise GOMAXPROCS.
+func Workers() int {
+	if n := override.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetWorkers overrides the pool size (n <= 0 restores the GOMAXPROCS
+// default) and returns the previous override so callers can restore it:
+//
+//	defer par.SetWorkers(par.SetWorkers(1))
+func SetWorkers(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(override.Swap(int32(n)))
+}
+
+func tryAcquire() bool {
+	for {
+		cur := extra.Load()
+		if cur >= int32(Workers()-1) {
+			return false
+		}
+		if extra.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
+func release() { extra.Add(-1) }
+
+// ForEach runs fn(i) for every i in [0, n), fanning out over the worker
+// pool. It returns once every call has completed. With a pool size of 1
+// (or no budget) the calls run on the calling goroutine in index order.
+func ForEach(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	var wg sync.WaitGroup
+	for spawned := 0; spawned < n-1 && tryAcquire(); spawned++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer release()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+}
+
+// ForEachErr is ForEach for fallible work: every fn runs to completion and
+// the error with the lowest index is returned (deterministic regardless of
+// scheduling), or nil if all succeed.
+func ForEachErr(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	ForEach(n, func(i int) { errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Chunks splits [0, n) into contiguous ranges and runs fn(lo, hi) for each
+// on the worker pool — for per-item work too cheap to dispatch one index at
+// a time. Chunk boundaries carry no semantic weight: each item must still
+// write only its own slot.
+func Chunks(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	k := Workers()
+	if k > 1 {
+		// Oversubscribe so uneven per-item cost still balances.
+		k *= 4
+	}
+	if k > n {
+		k = n
+	}
+	ForEach(k, func(ci int) {
+		fn(ci*n/k, (ci+1)*n/k)
+	})
+}

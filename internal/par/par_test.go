@@ -1,0 +1,148 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		defer SetWorkers(SetWorkers(workers))
+		const n = 1000
+		hits := make([]int32, n)
+		ForEach(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachSerialInOrder(t *testing.T) {
+	defer SetWorkers(SetWorkers(1))
+	var got []int
+	ForEach(5, func(i int) { got = append(got, i) })
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("serial ForEach out of order: %v", got)
+		}
+	}
+}
+
+func TestForEachNested(t *testing.T) {
+	defer SetWorkers(SetWorkers(4))
+	const outer, inner = 6, 50
+	var total atomic.Int64
+	ForEach(outer, func(i int) {
+		ForEach(inner, func(j int) { total.Add(1) })
+	})
+	if total.Load() != outer*inner {
+		t.Fatalf("nested ForEach ran %d of %d items", total.Load(), outer*inner)
+	}
+}
+
+func TestForEachErrReturnsLowestIndex(t *testing.T) {
+	defer SetWorkers(SetWorkers(8))
+	errAt := func(i int) error { return fmt.Errorf("item %d", i) }
+	err := ForEachErr(100, func(i int) error {
+		if i == 17 || i == 63 {
+			return errAt(i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "item 17" {
+		t.Fatalf("want the lowest-index error, got %v", err)
+	}
+	if err := ForEachErr(10, func(int) error { return nil }); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestChunksCoverExactly(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		defer SetWorkers(SetWorkers(workers))
+		for _, n := range []int{1, 2, 7, 100, 1001} {
+			hits := make([]int32, n)
+			Chunks(n, func(lo, hi int) {
+				if lo >= hi {
+					t.Fatalf("empty chunk [%d,%d)", lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d covered %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestCacheSingleflight(t *testing.T) {
+	var c Cache[string, int]
+	var builds atomic.Int32
+	const n = 16
+	gate := make(chan struct{})
+	results := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-gate
+			v, err := c.Get("k", func() (int, error) {
+				builds.Add(1)
+				return 42, nil
+			})
+			if err != nil {
+				t.Errorf("unexpected error: %v", err)
+			}
+			results[i] = v
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	if builds.Load() != 1 {
+		t.Fatalf("build ran %d times, want 1", builds.Load())
+	}
+	for i, v := range results {
+		if v != 42 {
+			t.Fatalf("caller %d got %d", i, v)
+		}
+	}
+}
+
+func TestCacheCachesErrors(t *testing.T) {
+	var c Cache[int, string]
+	var builds int
+	boom := errors.New("boom")
+	for i := 0; i < 3; i++ {
+		_, err := c.Get(7, func() (string, error) {
+			builds++
+			return "", boom
+		})
+		if err != boom {
+			t.Fatalf("call %d: got %v, want %v", i, err, boom)
+		}
+	}
+	if builds != 1 {
+		t.Fatalf("failed build ran %d times, want 1", builds)
+	}
+}
+
+func TestCacheDistinctKeysConcurrent(t *testing.T) {
+	var c Cache[int, int]
+	defer SetWorkers(SetWorkers(8))
+	ForEach(64, func(i int) {
+		v, err := c.Get(i%8, func() (int, error) { return i % 8 * 10, nil })
+		if err != nil || v != i%8*10 {
+			t.Errorf("key %d: got %d, %v", i%8, v, err)
+		}
+	})
+}

@@ -1,0 +1,73 @@
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/tile"
+)
+
+// Estimates bundles the per-tile model estimates of both worker types for
+// one grid so that loops over candidate assignments or strategies — the
+// Figure 16/17 error studies, the iso-scale exploration, the experiment
+// harness's strategy grids — do not redo the O(tiles) model evaluation on
+// every Predict/EvaluateTotals/HotTiles call. Build once with NewEstimates,
+// then use the *From entry points.
+//
+// The Config passed to later *From calls may carry different worker Counts
+// than the one used to build the Estimates (counts only divide the pool
+// times), but the workers' model parameters and the Params must match the
+// build-time ones.
+type Estimates struct {
+	// Grid is the tiling the estimates were computed for.
+	Grid *tile.Grid
+	// Hot[i]/Cold[i] are the estimates for Grid.Tiles[i] on one hot/cold
+	// worker.
+	Hot, Cold []model.Estimate
+}
+
+// NewEstimates evaluates both worker types' per-tile estimates for g
+// (in parallel over tiles).
+func NewEstimates(g *tile.Grid, cfg *Config) (*Estimates, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Estimates{
+		Grid: g,
+		Hot:  model.EstimateGrid(cfg.Hot, g, cfg.Params),
+		Cold: model.EstimateGrid(cfg.Cold, g, cfg.Params),
+	}, nil
+}
+
+// check verifies the estimates cover the grid's tiles.
+func (es *Estimates) check() error {
+	if es == nil || es.Grid == nil {
+		return fmt.Errorf("partition: nil estimates")
+	}
+	n := len(es.Grid.Tiles)
+	if len(es.Hot) != n || len(es.Cold) != n {
+		return fmt.Errorf("partition: estimates cover %d/%d tiles, grid has %d",
+			len(es.Hot), len(es.Cold), n)
+	}
+	return nil
+}
+
+// EvaluateTotalsFrom is EvaluateTotals reusing precomputed estimates.
+func EvaluateTotalsFrom(es *Estimates, cfg *Config, hot []bool) Totals {
+	return evaluateTotals(es.Grid, cfg, hot, es.Hot, es.Cold)
+}
+
+// PredictFrom is Predict reusing precomputed estimates.
+func PredictFrom(es *Estimates, cfg *Config, hot []bool, serial bool) (float64, Totals, error) {
+	if err := cfg.validate(); err != nil {
+		return 0, Totals{}, err
+	}
+	if err := es.check(); err != nil {
+		return 0, Totals{}, err
+	}
+	if len(hot) != len(es.Grid.Tiles) {
+		return 0, Totals{}, fmt.Errorf("partition: assignment length %d, want %d", len(hot), len(es.Grid.Tiles))
+	}
+	t := EvaluateTotalsFrom(es, cfg, hot)
+	return predictedRuntime(es.Grid, cfg, hot, t, serial), t, nil
+}

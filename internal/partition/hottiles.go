@@ -12,11 +12,22 @@ import (
 // with atomic RMW, two) heuristic subproblems, predict each resulting
 // partitioning's runtime with the readjusted model, and keep the best.
 func HotTiles(g *tile.Grid, cfg Config) (Result, error) {
+	es, err := NewEstimates(g, &cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return HotTilesFrom(es, cfg)
+}
+
+// HotTilesFrom is HotTiles reusing precomputed estimates.
+func HotTilesFrom(es *Estimates, cfg Config) (Result, error) {
 	if err := cfg.validate(); err != nil {
 		return Result{}, err
 	}
-	eh := model.EstimateGrid(cfg.Hot, g, cfg.Params)
-	ec := model.EstimateGrid(cfg.Cold, g, cfg.Params)
+	if err := es.check(); err != nil {
+		return Result{}, err
+	}
+	g, eh, ec := es.Grid, es.Hot, es.Cold
 
 	heuristics := []Heuristic{MinTimeParallel, MinByteParallel}
 	if !cfg.AtomicRMW {
@@ -38,14 +49,25 @@ func HotTiles(g *tile.Grid, cfg Config) (Result, error) {
 // RunHeuristic forces a single heuristic (used by the Figure 12 study that
 // compares the four heuristics individually across system scales).
 func RunHeuristic(g *tile.Grid, cfg Config, h Heuristic) (Result, error) {
+	es, err := NewEstimates(g, &cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return RunHeuristicFrom(es, cfg, h)
+}
+
+// RunHeuristicFrom is RunHeuristic reusing precomputed estimates.
+func RunHeuristicFrom(es *Estimates, cfg Config, h Heuristic) (Result, error) {
 	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	if err := es.check(); err != nil {
 		return Result{}, err
 	}
 	if h < 0 || h >= numHeuristics {
 		return Result{}, fmt.Errorf("partition: unknown heuristic %d", int(h))
 	}
-	eh := model.EstimateGrid(cfg.Hot, g, cfg.Params)
-	ec := model.EstimateGrid(cfg.Cold, g, cfg.Params)
+	g, eh, ec := es.Grid, es.Hot, es.Cold
 	hot := solveSubproblem(g, &cfg, h, eh, ec)
 	t := evaluateTotals(g, &cfg, hot, eh, ec)
 	return Result{

@@ -15,9 +15,23 @@ import (
 // random. The returned Result's Predicted field uses the same readjusted
 // evaluation as HotTiles so baselines and HotTiles are comparable.
 func IUnaware(g *tile.Grid, cfg Config, seed int64) (Result, error) {
+	es, err := NewEstimates(g, &cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return IUnawareFrom(es, cfg, seed)
+}
+
+// IUnawareFrom is IUnaware reusing precomputed estimates (the readjusted
+// Predicted evaluation is the O(tiles) part; the roofline itself is cheap).
+func IUnawareFrom(es *Estimates, cfg Config, seed int64) (Result, error) {
 	if err := cfg.validate(); err != nil {
 		return Result{}, err
 	}
+	if err := es.check(); err != nil {
+		return Result{}, err
+	}
+	g := es.Grid
 
 	// Whole-matrix Roofline estimates: execution time is the max of
 	// computation time and memory time at full system bandwidth (§III-B).
@@ -55,7 +69,7 @@ func IUnaware(g *tile.Grid, cfg Config, seed int64) (Result, error) {
 		hot[perm[i]] = true
 	}
 
-	t := EvaluateTotals(g, &cfg, hot)
+	t := EvaluateTotalsFrom(es, &cfg, hot)
 	return Result{
 		Hot:       hot,
 		Serial:    false, // IUnaware always runs the pools in parallel

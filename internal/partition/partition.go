@@ -210,15 +210,17 @@ func predictedRuntime(g *tile.Grid, cfg *Config, hot []bool, t Totals, serial bo
 // Predict returns the model's predicted runtime for an arbitrary assignment
 // executed in the given mode, with readjusted totals. It backs the paper's
 // architecture-exploration use case (§VIII-B) and the Fig 17 error study.
+// Callers evaluating many assignments on the same grid should build the
+// estimates once with NewEstimates and use PredictFrom instead.
 func Predict(g *tile.Grid, cfg *Config, hot []bool, serial bool) (float64, Totals, error) {
 	if err := cfg.validate(); err != nil {
 		return 0, Totals{}, err
 	}
-	if len(hot) != len(g.Tiles) {
-		return 0, Totals{}, fmt.Errorf("partition: assignment length %d, want %d", len(hot), len(g.Tiles))
+	es, err := NewEstimates(g, cfg)
+	if err != nil {
+		return 0, Totals{}, err
 	}
-	t := EvaluateTotals(g, cfg, hot)
-	return predictedRuntime(g, cfg, hot, t, serial), t, nil
+	return PredictFrom(es, cfg, hot, serial)
 }
 
 // AllHot returns the homogeneous hot assignment.

@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// claimingWorker returns a workerState demanding bytes on pool pi, worker w.
+func claimingWorker(pi, w int, bytes float64) *workerState {
+	return &workerState{pool: pi, idx: w, unitIdx: 0, remB: bytes}
+}
+
+func TestAllocateLinkSlackRedistributed(t *testing.T) {
+	// Two workers behind a 100 GB/s link: one can only stream 10 GB/s, the
+	// other 200 GB/s. The pool's demand (210) exceeds the link, but the slow
+	// worker's slack must flow to the fast one — grants 10 + 90, not an even
+	// 50 + 50 split of the link that over-grants the slow worker and
+	// strands 40 GB/s of link capacity.
+	p := &pool{
+		name: "mixed", workers: 2,
+		perWorkerBW: 200e9,
+		workerBW:    []float64{10e9, 200e9},
+		linkBW:      100e9,
+	}
+	ws := []*workerState{claimingWorker(0, 0, 1e9), claimingWorker(0, 1, 1e9)}
+	allocate(ws, []*pool{p}, 1e12)
+	if math.Abs(ws[0].grant-10e9) > 1 || math.Abs(ws[1].grant-90e9) > 1 {
+		t.Fatalf("grants = %g, %g; want 10e9, 90e9", ws[0].grant, ws[1].grant)
+	}
+}
+
+func TestAllocateUniformLinkCapPreserved(t *testing.T) {
+	// Identical workers behind a saturated link still split it evenly, and
+	// the share must be exactly linkBW/count (the pre-waterfill behavior).
+	p := &pool{name: "pcie", workers: 2, perWorkerBW: 50e9, linkBW: 10e9}
+	ws := []*workerState{claimingWorker(0, 0, 1e9), claimingWorker(0, 1, 1e9)}
+	allocate(ws, []*pool{p}, 100e9)
+	want := p.linkBW / 2
+	if ws[0].grant != want || ws[1].grant != want {
+		t.Fatalf("grants = %g, %g; want exactly %g each", ws[0].grant, ws[1].grant, want)
+	}
+}
+
+func TestAllocateWorkerCapFallback(t *testing.T) {
+	// Entries missing from workerBW (or non-positive) fall back to the
+	// pool-wide perWorkerBW.
+	p := &pool{name: "p", workers: 3, perWorkerBW: 30e9, workerBW: []float64{10e9, 0}}
+	if got := p.workerCap(0); got != 10e9 {
+		t.Fatalf("workerCap(0) = %g, want 10e9", got)
+	}
+	if got := p.workerCap(1); got != 30e9 {
+		t.Fatalf("workerCap(1) = %g, want fallback 30e9", got)
+	}
+	if got := p.workerCap(2); got != 30e9 {
+		t.Fatalf("workerCap(2) = %g, want fallback 30e9", got)
+	}
+}
+
+func TestEngineMixedSpeedPoolSaturatesLink(t *testing.T) {
+	// End to end: the mixed pool of TestAllocateLinkSlackRedistributed
+	// moves 1 GB on the slow worker and 9 GB on the fast one. With the
+	// slack redistributed both finish at 0.1 s; the old even split would
+	// stall the fast worker at 50 GB/s (0.18 s makespan).
+	p := &pool{
+		name: "mixed", workers: 2,
+		perWorkerBW: 200e9,
+		workerBW:    []float64{10e9, 200e9},
+		linkBW:      100e9,
+	}
+	p.units = []unit{
+		{phases: []phase{{bytes: 1e9}}},
+		{phases: []phase{{bytes: 9e9}}},
+	}
+	tm, _, err := runEngine([]*pool{p}, 1e12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tm-0.1) > 1e-4 {
+		t.Fatalf("time = %g, want ~0.1", tm)
+	}
+}

@@ -26,7 +26,19 @@ type pool struct {
 	workers     int
 	perWorkerBW float64 // peak streaming bandwidth per worker, bytes/s
 	linkBW      float64 // aggregate cap for the whole pool (e.g. PCIe); 0 = none
-	units       []unit
+	// workerBW optionally overrides perWorkerBW per worker (workerBW[i] is
+	// worker i's peak; missing or non-positive entries fall back to
+	// perWorkerBW), for pools whose members are not identical.
+	workerBW []float64
+	units    []unit
+}
+
+// workerCap returns worker i's peak streaming bandwidth.
+func (p *pool) workerCap(i int) float64 {
+	if i < len(p.workerBW) && p.workerBW[i] > 0 {
+		return p.workerBW[i]
+	}
+	return p.perWorkerBW
 }
 
 // poolStats aggregates a pool's observed behavior during a run.
@@ -39,6 +51,7 @@ type poolStats struct {
 // workerState tracks one worker's progress through its current unit.
 type workerState struct {
 	pool     int
+	idx      int // index of this worker within its pool
 	unitIdx  int // index into pool.units; -1 when idle with empty queue
 	phaseIdx int
 	remC     float64 // remaining compute seconds
@@ -67,7 +80,7 @@ func runEngineTraced(pools []*pool, totalBW float64, tr *tracer) (float64, []poo
 			return 0, nil, fmt.Errorf("sim: pool %s has negative workers", p.name)
 		}
 		for w := 0; w < p.workers; w++ {
-			workers = append(workers, &workerState{pool: pi, unitIdx: -1})
+			workers = append(workers, &workerState{pool: pi, idx: w, unitIdx: -1})
 		}
 		for _, u := range p.units {
 			stats[pi].Flops += u.flops
@@ -176,63 +189,88 @@ func runEngineTraced(pools []*pool, totalBW float64, tr *tracer) (float64, []poo
 // allocate grants memory bandwidth max-min fairly: every worker with
 // outstanding bytes demands up to its per-worker peak, pools may carry an
 // aggregate link cap (PCIe), and the total is bounded by the shared memory
-// bandwidth.
+// bandwidth. Link caps are themselves enforced max-min fairly within the
+// pool: a worker demanding less than its even share of the link leaves its
+// slack to the pool's other workers rather than stranding it, so a pool
+// with mixed-speed members can still saturate its link.
 func allocate(workers []*workerState, pools []*pool, totalBW float64) {
 	type claimant struct {
 		w   *workerState
 		cap float64
 	}
 	var cs []claimant
-	// First enforce per-pool link caps by scaling per-worker caps within
-	// the pool when the pool's aggregate demand exceeds its link.
+	byPool := make([][]int, len(pools)) // claimant indices per pool
 	demand := make([]float64, len(pools))
-	count := make([]int, len(pools))
 	for _, w := range workers {
 		w.grant = 0
-		if w.unitIdx >= 0 && w.remB > 0 {
-			demand[w.pool] += pools[w.pool].perWorkerBW
-			count[w.pool]++
-		}
-	}
-	for _, w := range workers {
 		if w.unitIdx < 0 || w.remB <= 0 {
 			continue
 		}
-		p := pools[w.pool]
-		cap := p.perWorkerBW
-		if p.linkBW > 0 && demand[w.pool] > p.linkBW {
-			cap = p.linkBW / float64(count[w.pool])
-		}
+		cap := pools[w.pool].workerCap(w.idx)
+		demand[w.pool] += cap
+		byPool[w.pool] = append(byPool[w.pool], len(cs))
 		cs = append(cs, claimant{w, cap})
 	}
 	if len(cs) == 0 {
 		return
 	}
-	// Max-min waterfill against totalBW.
-	remaining := totalBW
-	unsat := cs
+	// Enforce per-pool link caps: when a pool's aggregate demand exceeds
+	// its link, replace the member caps with their max-min fair shares of
+	// the link.
+	for pi, p := range pools {
+		if p.linkBW <= 0 || demand[pi] <= p.linkBW || len(byPool[pi]) == 0 {
+			continue
+		}
+		caps := make([]float64, len(byPool[pi]))
+		for j, ci := range byPool[pi] {
+			caps[j] = cs[ci].cap
+		}
+		for j, g := range waterfill(caps, p.linkBW) {
+			cs[byPool[pi][j]].cap = g
+		}
+	}
+	// Max-min waterfill against the shared memory bandwidth.
+	caps := make([]float64, len(cs))
+	for i, c := range cs {
+		caps[i] = c.cap
+	}
+	for i, g := range waterfill(caps, totalBW) {
+		cs[i].w.grant = g
+	}
+}
+
+// waterfill distributes budget across demands max-min fairly: demands below
+// the current even share are fully granted, and their slack is re-split
+// among the rest until nobody saturates, at which point the remainder is
+// divided evenly. The returned grants sum to min(budget, sum(caps)).
+func waterfill(caps []float64, budget float64) []float64 {
+	grants := make([]float64, len(caps))
+	unsat := make([]int, len(caps))
+	for i := range unsat {
+		unsat[i] = i
+	}
+	remaining := budget
 	for len(unsat) > 0 && remaining > 0 {
 		share := remaining / float64(len(unsat))
-		var still []claimant
+		still := unsat[:0]
 		progressed := false
-		for _, c := range unsat {
-			need := c.cap - c.w.grant
-			if need <= share {
-				c.w.grant = c.cap
+		for _, i := range unsat {
+			if need := caps[i] - grants[i]; need <= share {
+				grants[i] = caps[i]
 				remaining -= need
 				progressed = true
 			} else {
-				still = append(still, c)
+				still = append(still, i)
 			}
 		}
 		if !progressed {
 			// Nobody saturated: split what remains evenly and stop.
-			for _, c := range still {
-				c.w.grant += share
+			for _, i := range still {
+				grants[i] += share
 			}
-			remaining = 0
 			break
 		}
 		unsat = still
 	}
+	return grants
 }

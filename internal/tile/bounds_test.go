@@ -1,0 +1,73 @@
+package tile
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/par"
+	"repro/internal/sparse"
+)
+
+// TestPartitionRejectsOutOfBoundsCoords is the regression test for the
+// crash on malformed input: a nonzero outside the declared dimensions used
+// to panic with an index-out-of-range inside the counting pass. It must be
+// a descriptive error instead.
+func TestPartitionRejectsOutOfBoundsCoords(t *testing.T) {
+	cases := []struct {
+		name string
+		r, c int32
+	}{
+		{"column past n", 5, 120},
+		{"row past n", 120, 5},
+		{"negative row", -1, 5},
+		{"negative column", 5, -1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := sparse.NewCOO(100, 0)
+			m.Append(tc.r, tc.c, 1)
+			g, err := Partition(m, 32, 32)
+			if err == nil {
+				t.Fatalf("Partition accepted nonzero at (%d, %d) in a 100x100 matrix: %+v", tc.r, tc.c, g)
+			}
+			if !strings.Contains(err.Error(), "outside") {
+				t.Fatalf("error %q does not describe the out-of-bounds nonzero", err)
+			}
+		})
+	}
+}
+
+// TestPartitionParallelMatchesSerial pins the determinism contract of the
+// parallel per-tile stat pass: the grid built with the worker pool enabled
+// is deeply identical to the serial build.
+func TestPartitionParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 5; trial++ {
+		n := 50 + rng.Intn(200)
+		nnz := rng.Intn(6 * n)
+		m := sparse.NewCOO(n, nnz)
+		for i := 0; i < nnz; i++ {
+			m.Append(int32(rng.Intn(n)), int32(rng.Intn(n)), rng.Float64())
+		}
+		m.SortRowMajor()
+
+		var serial, parallel *Grid
+		var serr, perr error
+		func() {
+			defer par.SetWorkers(par.SetWorkers(1))
+			serial, serr = Partition(m, 32, 48)
+		}()
+		func() {
+			defer par.SetWorkers(par.SetWorkers(8))
+			parallel, perr = Partition(m, 32, 48)
+		}()
+		if serr != nil || perr != nil {
+			t.Fatalf("trial %d: serial err %v, parallel err %v", trial, serr, perr)
+		}
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Fatalf("trial %d: parallel grid differs from serial", trial)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/par"
 	"repro/internal/sparse"
 )
 
@@ -66,14 +67,21 @@ func Partition(m *sparse.COO, tileH, tileW int) (*Grid, error) {
 	// Counting sort nonzeros into (panel, tile column) buckets. The input is
 	// row-major, so within a bucket entries arrive already ordered by
 	// (row, col) — exactly the intra-tile order of a tiled row-ordered
-	// traversal.
+	// traversal. Coordinates are validated here, before they index any
+	// bucket: a malformed input (e.g. a MatrixMarket file with entries
+	// outside the declared dimensions) must surface as an error, not an
+	// index-out-of-range panic.
 	nbuckets := g.NumTR * g.NumTC
 	counts := make([]int, nbuckets+1)
 	bucketOf := func(r, c int32) int {
 		return (int(r)/tileH)*g.NumTC + int(c)/tileW
 	}
 	for i := 0; i < m.NNZ(); i++ {
-		counts[bucketOf(m.Rows[i], m.Cols[i])+1]++
+		r, c := m.Rows[i], m.Cols[i]
+		if r < 0 || int(r) >= m.N || c < 0 || int(c) >= m.N {
+			return nil, fmt.Errorf("tile: nonzero %d at (%d, %d) outside the %dx%d matrix", i, r, c, m.N, m.N)
+		}
+		counts[bucketOf(r, c)+1]++
 	}
 	for b := 0; b < nbuckets; b++ {
 		counts[b+1] += counts[b]
@@ -88,8 +96,10 @@ func Partition(m *sparse.COO, tileH, tileW int) (*Grid, error) {
 		g.Vals[o] = m.Vals[i]
 	}
 
-	// Materialize non-empty tiles with their statistics.
-	var scratch []int32
+	// Materialize non-empty tiles, then compute the per-tile statistics on
+	// the worker pool: the UniqCols sort dominates tiling time and each
+	// tile's stats are independent, so every tile writes only its own
+	// fields and the result matches the serial evaluation bit for bit.
 	for tr := 0; tr < g.NumTR; tr++ {
 		g.PanelStart[tr] = len(g.Tiles)
 		for tc := 0; tc < g.NumTC; tc++ {
@@ -98,15 +108,20 @@ func Partition(m *sparse.COO, tileH, tileW int) (*Grid, error) {
 			if start == end {
 				continue
 			}
-			t := Tile{TR: tr, TC: tc, Start: start, End: end}
-			t.UniqRows = countRuns(g.Rows[start:end])
-			scratch = append(scratch[:0], g.Cols[start:end]...)
-			sort.Slice(scratch, func(i, j int) bool { return scratch[i] < scratch[j] })
-			t.UniqCols = countRuns(scratch)
-			g.Tiles = append(g.Tiles, t)
+			g.Tiles = append(g.Tiles, Tile{TR: tr, TC: tc, Start: start, End: end})
 		}
 	}
 	g.PanelStart[g.NumTR] = len(g.Tiles)
+	par.Chunks(len(g.Tiles), func(lo, hi int) {
+		var scratch []int32
+		for ti := lo; ti < hi; ti++ {
+			t := &g.Tiles[ti]
+			t.UniqRows = countRuns(g.Rows[t.Start:t.End])
+			scratch = append(scratch[:0], g.Cols[t.Start:t.End]...)
+			sort.Slice(scratch, func(i, j int) bool { return scratch[i] < scratch[j] })
+			t.UniqCols = countRuns(scratch)
+		}
+	})
 	return g, nil
 }
 
