@@ -1,12 +1,22 @@
 # Development entry points. `make ci` is the gate every change must pass:
-# vet, build, and the full test suite under the race detector (the parallel
-# experiment engine makes -race meaningful; see DESIGN.md §9).
+# vet, build, the full test suite under the race detector (the parallel
+# experiment engine makes -race meaningful; see DESIGN.md §9), and the
+# coverage report with its per-package floor.
 
 GO ?= go
 
-.PHONY: ci vet build test race bench
+# Packages whose coverage is gated (percent, integer). internal/obs is the
+# observability layer PR 2 introduced; its nil-receiver no-op paths are easy
+# to leave untested by accident, which is exactly what the floor catches.
+COVER_FLOOR_PKG = repro/internal/obs
+COVER_FLOOR     = 60
 
-ci: vet build race
+# Seconds of coverage-guided fuzzing per fuzzer in `make fuzz`.
+FUZZTIME ?= 10s
+
+.PHONY: ci vet build test race bench cover fuzz golden
+
+ci: vet build race cover
 
 vet:
 	$(GO) vet ./...
@@ -22,3 +32,30 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# cover prints a per-package coverage summary and fails when the gated
+# package drops below its floor.
+cover:
+	$(GO) test -count=1 -cover -coverprofile=coverage.out ./...
+	@$(GO) tool cover -func=coverage.out | tail -1
+	@pct=$$($(GO) test -count=1 -cover $(COVER_FLOOR_PKG) 2>/dev/null \
+		| sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p'); \
+	if [ -z "$$pct" ]; then \
+		echo "cover: no coverage reported for $(COVER_FLOOR_PKG)"; exit 1; \
+	fi; \
+	ok=$$(awk -v p="$$pct" -v f="$(COVER_FLOOR)" 'BEGIN { print (p >= f) ? 1 : 0 }'); \
+	if [ "$$ok" != 1 ]; then \
+		echo "cover: $(COVER_FLOOR_PKG) at $$pct% is below the $(COVER_FLOOR)% floor"; exit 1; \
+	fi; \
+	echo "cover: $(COVER_FLOOR_PKG) at $$pct% (floor $(COVER_FLOOR)%)"
+
+# fuzz runs each fuzzer's coverage-guided loop for FUZZTIME — a smoke pass,
+# not a soak; the seed corpora also run in every plain `go test ./...`.
+fuzz:
+	$(GO) test -fuzz=FuzzRead -fuzztime=$(FUZZTIME) ./internal/mm
+	$(GO) test -fuzz=FuzzCOOToCSR -fuzztime=$(FUZZTIME) ./internal/sparse
+
+# golden regenerates the pinned experiment outputs after an intentional
+# change (review the diff before committing).
+golden:
+	$(GO) test ./internal/experiments -run TestGolden -update -count=1

@@ -18,6 +18,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/gen"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/partition"
 	"repro/internal/reorder"
@@ -159,6 +160,31 @@ func BenchmarkExperimentsFanout(b *testing.B) {
 			defer par.SetWorkers(par.SetWorkers(cfg.workers))
 			for i := 0; i < b.N; i++ {
 				if _, err := newEnv(i).Fig10(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkObsDisabled pins the observability layer's no-op overhead: the
+// same study as BenchmarkExperimentsFanout with no tracer attached (every
+// span call is a nil check) versus with a live tracer. Compare the
+// "disabled" sub-benchmark against BenchmarkExperimentsFanout from before
+// internal/obs existed — the contract is <2% drift; the "enabled" variant
+// bounds the cost of tracing itself.
+func BenchmarkObsDisabled(b *testing.B) {
+	for _, cfg := range []struct {
+		name   string
+		traced bool
+	}{{"disabled", false}, {"enabled", true}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e := newEnv(i)
+				if cfg.traced {
+					e.SetTracer(obs.New("bench"))
+				}
+				if _, err := e.Fig10(); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	hottiles "repro"
+	"repro/internal/obs"
 	"repro/internal/sparse"
 	"repro/internal/viz"
 )
@@ -38,13 +39,32 @@ func main() {
 	savePlan := flag.String("save-plan", "", "serialize the preprocessing plan to this file")
 	loadPlan := flag.String("load-plan", "", "skip preprocessing and load a serialized plan")
 	mapFile := flag.String("map", "", "write the tile-assignment map (Figure 5 style) as PGM")
-	traceFile := flag.String("trace", "", "with -simulate: write the bandwidth trace strip as PGM")
+	bwTraceFile := flag.String("bwtrace", "", "with -simulate: write the bandwidth trace strip as PGM")
+	tracePath := flag.String("trace", "", `write a JSON run manifest to this path ("-" prints a summary)`)
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: hottiles [flags] matrix.mtx")
 		flag.PrintDefaults()
 		os.Exit(2)
+	}
+
+	stopProfiles, err := obs.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fail(err)
+	}
+	// Nil when -trace is absent: every trace call below is then a no-op.
+	var tr *obs.Tracer
+	if *tracePath != "" {
+		tr = obs.New("hottiles")
+		tr.SetConfig("matrix", flag.Arg(0))
+		tr.SetConfig("arch", *archName)
+		tr.SetConfig("strategy", *strategy)
+		tr.SetConfig("kernel", *kernelName)
+		tr.SetConfig("seed", fmt.Sprint(*seed))
+		tr.SetConfig("ops", fmt.Sprint(*opsPerMAC))
 	}
 
 	a, err := parseArch(*archName)
@@ -67,11 +87,14 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	readSp := tr.Phase("read").Start(flag.Arg(0))
 	m, err := hottiles.ReadMatrixMarket(f)
 	f.Close()
 	if err != nil {
 		fail(err)
 	}
+	readSp.SetAttr("nnz", fmt.Sprint(m.NNZ()))
+	readSp.End()
 	fmt.Printf("matrix: %d rows, %d nonzeros, density %.2e\n", m.N, m.NNZ(), m.Density())
 
 	kernel, err := parseKernel(*kernelName)
@@ -82,6 +105,7 @@ func main() {
 		a.K = 1
 	}
 
+	reorderSp := tr.Phase("reorder").Start(*reorderPass)
 	switch *reorderPass {
 	case "none":
 	case "degree":
@@ -96,12 +120,15 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	reorderSp.End()
 	if *reorderPass != "none" {
 		fmt.Printf("reordered with the %s pass\n", *reorderPass)
 	}
 
 	if *autotile {
+		atSp := tr.Phase("autotile").Start("sweep")
 		best, sweep, err := hottiles.AutoTileSize(m, &a, []int{64, 128, 256, 512, 1024}, *opsPerMAC)
+		atSp.End()
 		if err != nil {
 			fail(err)
 		}
@@ -135,6 +162,7 @@ func main() {
 		a.TileH, a.TileW = plan.Grid.TileH, plan.Grid.TileW
 		fmt.Printf("loaded plan from %s\n", *loadPlan)
 	} else {
+		partSp := tr.Phase("partition").Start(*strategy)
 		plan, err = hottiles.PartitionWith(m, &a, hottiles.PartitionOptions{
 			Strategy:  strat,
 			OpsPerMAC: *opsPerMAC,
@@ -144,6 +172,8 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+		partSp.SetAttr("tiles", fmt.Sprint(len(plan.Grid.Tiles)))
+		partSp.End()
 	}
 	report(plan, &a)
 
@@ -159,6 +189,7 @@ func main() {
 		if err := pf.Close(); err != nil {
 			fail(err)
 		}
+		hashFile(tr, *savePlan)
 		fmt.Printf("saved plan to %s\n", *savePlan)
 	}
 
@@ -166,6 +197,7 @@ func main() {
 		if err := writeSection(*outHot, hotSectionCOO(plan)); err != nil {
 			fail(err)
 		}
+		hashFile(tr, *outHot)
 	}
 	if *outCold != "" {
 		cold := plan.Cold
@@ -175,6 +207,7 @@ func main() {
 		if err := writeSection(*outCold, cold); err != nil {
 			fail(err)
 		}
+		hashFile(tr, *outCold)
 	}
 
 	if *mapFile != "" {
@@ -189,6 +222,7 @@ func main() {
 		if err := f.Close(); err != nil {
 			fail(err)
 		}
+		hashFile(tr, *mapFile)
 		fmt.Printf("wrote tile map to %s\n", *mapFile)
 	}
 
@@ -201,16 +235,18 @@ func main() {
 		for i := range din.Data {
 			din.Data[i] = 1
 		}
+		simSp := tr.Phase("simulate").Start(a.Name)
 		res, err := hottiles.Simulate(plan, &a, din, hottiles.SimOptions{
 			Serial: plan.Partition.Serial && !a.AtomicRMW,
 			Kernel: kernel,
-			Trace:  *traceFile != "",
+			Trace:  *bwTraceFile != "",
 		})
+		simSp.End()
 		if err != nil {
 			fail(err)
 		}
-		if *traceFile != "" {
-			f, err := os.Create(*traceFile)
+		if *bwTraceFile != "" {
+			f, err := os.Create(*bwTraceFile)
 			if err != nil {
 				fail(err)
 			}
@@ -221,7 +257,8 @@ func main() {
 			if err := f.Close(); err != nil {
 				fail(err)
 			}
-			fmt.Printf("wrote bandwidth trace to %s\n", *traceFile)
+			hashFile(tr, *bwTraceFile)
+			fmt.Printf("wrote bandwidth trace to %s\n", *bwTraceFile)
 		}
 		fmt.Printf("simulated runtime: %.3f ms (merge %.3f ms)\n", res.Time*1e3, res.MergeTime*1e3)
 		fmt.Printf("bandwidth: %.1f GB/s; lines/nnz: %.2f; hot %.1f GFLOP/s, cold %.1f GFLOP/s\n",
@@ -239,6 +276,32 @@ func main() {
 			fmt.Printf("functional check vs reference kernel: max |diff| = %.2e\n", diff)
 		}
 	}
+
+	if tr != nil {
+		if err := obs.WriteTrace(tr, *tracePath, os.Stdout); err != nil {
+			fail(err)
+		}
+		if *tracePath != "-" {
+			fmt.Printf("wrote run manifest to %s\n", *tracePath)
+		}
+	}
+	if err := stopProfiles(); err != nil {
+		fail(err)
+	}
+}
+
+// hashFile records a produced artifact's content hash in the manifest. A
+// file that cannot be read back is recorded as empty rather than failing the
+// run: hashing is bookkeeping, not part of the pipeline.
+func hashFile(tr *obs.Tracer, path string) {
+	if tr == nil {
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		data = nil
+	}
+	tr.AddOutput(path, data)
 }
 
 func report(plan *hottiles.Plan, a *hottiles.Arch) {

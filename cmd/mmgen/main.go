@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/gen"
 	"repro/internal/mm"
+	"repro/internal/obs"
 	"repro/internal/sparse"
 )
 
@@ -31,7 +32,15 @@ func main() {
 	seed := flag.Int64("seed", 1, "generator seed")
 	out := flag.String("o", "", "output file (default stdout)")
 	list := flag.Bool("list", false, "list available benchmarks")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProfiles, err := obs.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mmgen:", err)
+		os.Exit(1)
+	}
 
 	if *list {
 		fmt.Println("Table V (sparse suite):")
@@ -67,6 +76,10 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "mmgen: %d rows, %d nonzeros, density %.2e\n",
 		m.N, m.NNZ(), m.Density())
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintln(os.Stderr, "mmgen:", err)
+		os.Exit(1)
+	}
 }
 
 func build(bench, generator string, n int, deg, gamma float64, scale int, seed int64) (*sparse.COO, error) {

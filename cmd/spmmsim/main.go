@@ -11,14 +11,17 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
@@ -28,6 +31,9 @@ func main() {
 	scale := flag.Int("scale", 64, "matrix scale divisor (paper sizes / scale)")
 	seed := flag.Int64("seed", 1, "generator seed")
 	workers := flag.Int("par", 0, "worker-pool size for the parallel engine (0 = GOMAXPROCS, 1 = serial)")
+	tracePath := flag.String("trace", "", `write a JSON run manifest to this path ("-" prints a summary)`)
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -35,12 +41,30 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	stopProfiles, err := obs.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spmmsim:", err)
+		os.Exit(1)
+	}
 	par.SetWorkers(*workers)
 	e := experiments.NewEnv(*scale, *seed)
 	names := flag.Args()
 	if len(names) == 1 && names[0] == "all" {
 		names = allNames()
 	}
+
+	// A nil tracer keeps the default path free of observability cost; every
+	// trace call below degrades to a nil check.
+	var tr *obs.Tracer
+	if *tracePath != "" {
+		tr = obs.New("spmmsim")
+		tr.SetConfig("scale", fmt.Sprint(*scale))
+		tr.SetConfig("seed", fmt.Sprint(*seed))
+		tr.SetConfig("par", fmt.Sprint(*workers))
+		tr.SetConfig("experiments", strings.Join(names, ","))
+		e.SetTracer(tr)
+	}
+
 	for _, name := range names {
 		r, ok := table[name]
 		if !ok {
@@ -50,11 +74,36 @@ func main() {
 		}
 		start := time.Now()
 		fmt.Printf("==== %s ====\n", name)
-		if err := r(e, os.Stdout); err != nil {
+		// Render through a buffer so the manifest can hash exactly the bytes
+		// the user saw for this experiment.
+		var buf bytes.Buffer
+		var w io.Writer = os.Stdout
+		if tr != nil {
+			w = io.MultiWriter(os.Stdout, &buf)
+		}
+		sp := tr.Root().Start(name)
+		err := r(e, w)
+		sp.End()
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "spmmsim: %s: %v\n", name, err)
 			os.Exit(1)
 		}
+		tr.AddOutput(name, buf.Bytes())
 		fmt.Printf("(%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	if tr != nil {
+		if err := obs.WriteTrace(tr, *tracePath, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "spmmsim:", err)
+			os.Exit(1)
+		}
+		if *tracePath != "-" {
+			fmt.Printf("wrote run manifest to %s\n", *tracePath)
+		}
+	}
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintln(os.Stderr, "spmmsim:", err)
+		os.Exit(1)
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/dense"
 	"repro/internal/gen"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/partition"
 	"repro/internal/semiring"
@@ -33,6 +34,11 @@ type Env struct {
 	// Seed drives matrix generation and IUnaware's random assignment.
 	Seed int64
 
+	// trace receives one span per cache build, grouped into the pipeline
+	// phases generate/tile/estimate/exec (nil = tracing disabled; every
+	// span call below is nil-safe and costs only a nil check).
+	trace *obs.Tracer
+
 	mats  par.Cache[string, *sparse.COO]
 	grids par.Cache[string, *tile.Grid]
 	// ests caches partition.Estimates per (arch name, benchmark, opsPerMAC)
@@ -47,6 +53,12 @@ type Env struct {
 func NewEnv(scale int, seed int64) *Env {
 	return &Env{Scale: scale, Seed: seed}
 }
+
+// SetTracer attaches an observability tracer (nil disables tracing, the
+// default). Spans are recorded only when a cache entry is actually built,
+// so a traced re-run of a warm Env shows cache hits in the counters rather
+// than duplicate spans.
+func (e *Env) SetTracer(t *obs.Tracer) { e.trace = t }
 
 // TileSize returns the tile dimension matching the matrix scale: the
 // paper's 8192 divided by the same factor, clamped to [64, 512].
@@ -64,7 +76,12 @@ func (e *Env) TileSize() int {
 // Matrix builds (or returns the cached) structural mimic of benchmark b.
 func (e *Env) Matrix(b gen.Benchmark) *sparse.COO {
 	m, _ := e.mats.Get(b.Short, func() (*sparse.COO, error) {
-		return b.Build(e.Seed, e.Scale), nil
+		sp := e.trace.Phase("generate").Start(b.Short)
+		built := b.Build(e.Seed, e.Scale)
+		sp.SetAttr("nnz", fmt.Sprint(built.NNZ()))
+		sp.SetAttr("n", fmt.Sprint(built.N))
+		sp.End()
+		return built, nil
 	})
 	return m
 }
@@ -73,7 +90,14 @@ func (e *Env) Matrix(b gen.Benchmark) *sparse.COO {
 func (e *Env) Grid(b gen.Benchmark, tileSize int) (*tile.Grid, error) {
 	key := fmt.Sprintf("%s/%d", b.Short, tileSize)
 	return e.grids.Get(key, func() (*tile.Grid, error) {
-		return tile.Partition(e.Matrix(b), tileSize, tileSize)
+		m := e.Matrix(b)
+		sp := e.trace.Phase("tile").Start(key)
+		g, err := tile.Partition(m, tileSize, tileSize)
+		if g != nil {
+			sp.SetAttr("tiles", fmt.Sprint(len(g.Tiles)))
+		}
+		sp.End()
+		return g, err
 	})
 }
 
@@ -86,6 +110,8 @@ func (e *Env) estimates(a *arch.Arch, b gen.Benchmark, opsPerMAC float64) (*part
 		if err != nil {
 			return nil, err
 		}
+		sp := e.trace.Phase("estimate").Start(key)
+		defer sp.End()
 		cfg := a.Config(opsPerMAC)
 		return partition.NewEstimates(g, &cfg)
 	})
@@ -118,6 +144,8 @@ func (e *Env) exec(a arch.Arch, b gen.Benchmark, strat string, opsPerMAC float64
 		if err != nil {
 			return nil, err
 		}
+		sp := e.trace.Phase("exec").Start(key)
+		defer sp.End()
 		g := es.Grid
 		cfg := a.Config(opsPerMAC)
 
@@ -157,14 +185,17 @@ func (e *Env) exec(a arch.Arch, b gen.Benchmark, strat string, opsPerMAC float64
 		// partitioner planned for.
 		sr := semiring.PlusTimes()
 		sr.OpsPerMAC = opsPerMAC
+		sim1 := sp.Start("sim")
 		r, err := sim.Run(g, part.Hot, &a, nil, sim.Options{
 			Serial:         serial,
 			Semiring:       &sr,
 			SkipFunctional: true,
 		})
+		sim1.End()
 		if err != nil {
 			return nil, err
 		}
+		sp.SetAttr("hotNNZ", fmt.Sprint(part.HotNNZ(g)))
 		return &runOut{Time: r.Time, Sim: r, Part: part, Predicted: part.Predicted}, nil
 	})
 }
@@ -178,6 +209,8 @@ func (e *Env) execHeuristic(a arch.Arch, b gen.Benchmark, h partition.Heuristic)
 		if err != nil {
 			return nil, err
 		}
+		sp := e.trace.Phase("exec").Start(key)
+		defer sp.End()
 		part, err := partition.RunHeuristicFrom(es, a.Config(2), h)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,288 @@
+package experiments
+
+// Golden-file regression tests: every deterministic study renders at a fixed
+// small scale and seed and is compared against the pinned output under
+// testdata/golden/. The differ is tolerance-aware — the non-numeric skeleton
+// must match exactly, numeric tokens may drift within a small relative
+// tolerance (guarding against platform float-formatting jitter without
+// letting real regressions through). Regenerate after an intentional change
+// with:
+//
+//	go test ./internal/experiments -run TestGolden -update
+//
+// Fig18 is excluded: its preprocessing-overhead columns are wall-clock
+// measurements and differ on every run.
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/golden/")
+
+// goldenTol is the maximum allowed relative drift per numeric token.
+const goldenTol = 1e-6
+
+// goldenStudies maps golden-file names to render functions, mirroring the
+// spmmsim experiment table minus the nondeterministic fig18.
+var goldenStudies = map[string]func(e *Env, w io.Writer) error{
+	"fig4": func(e *Env, w io.Writer) error {
+		studies, err := e.Fig4()
+		if err != nil {
+			return err
+		}
+		for _, st := range studies {
+			st.Render(w)
+		}
+		return nil
+	},
+	"fig5": func(e *Env, w io.Writer) error {
+		f, err := e.Fig5()
+		if err != nil {
+			return err
+		}
+		f.Render(w)
+		return nil
+	},
+	"fig10": func(e *Env, w io.Writer) error {
+		st, err := e.Fig10()
+		if err != nil {
+			return err
+		}
+		st.Render(w)
+		return nil
+	},
+	"fig11": func(e *Env, w io.Writer) error {
+		st, err := e.Fig11()
+		if err != nil {
+			return err
+		}
+		st.Render(w)
+		return nil
+	},
+	"fig12": func(e *Env, w io.Writer) error {
+		f, err := e.Fig12()
+		if err != nil {
+			return err
+		}
+		f.Render(w)
+		return nil
+	},
+	"fig13": func(e *Env, w io.Writer) error {
+		f, err := e.Fig13()
+		if err != nil {
+			return err
+		}
+		f.Render(w)
+		return nil
+	},
+	"fig14": func(e *Env, w io.Writer) error {
+		f, err := e.Fig14()
+		if err != nil {
+			return err
+		}
+		f.Render(w)
+		return nil
+	},
+	"fig15": func(e *Env, w io.Writer) error {
+		studies, err := e.Fig15()
+		if err != nil {
+			return err
+		}
+		for _, st := range studies {
+			st.Render(w)
+		}
+		return nil
+	},
+	"fig16": func(e *Env, w io.Writer) error {
+		f, err := e.Fig16()
+		if err != nil {
+			return err
+		}
+		f.Render(w)
+		return nil
+	},
+	"fig17": func(e *Env, w io.Writer) error {
+		f, err := e.Fig17()
+		if err != nil {
+			return err
+		}
+		f.Render(w)
+		return nil
+	},
+	"tab6": func(e *Env, w io.Writer) error {
+		t, err := e.TableVI()
+		if err != nil {
+			return err
+		}
+		t.Render(w)
+		return nil
+	},
+	"tab7": func(e *Env, w io.Writer) error {
+		t, err := e.TableVII()
+		if err != nil {
+			return err
+		}
+		t.Render(w)
+		return nil
+	},
+	"tab9": func(e *Env, w io.Writer) error {
+		t, err := e.TableIX()
+		if err != nil {
+			return err
+		}
+		t.Render(w)
+		return nil
+	},
+	"kernels": func(e *Env, w io.Writer) error {
+		k, err := e.Kernels()
+		if err != nil {
+			return err
+		}
+		k.Render(w)
+		return nil
+	},
+	"reorder": func(e *Env, w io.Writer) error {
+		r, err := e.Reorder()
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+		return nil
+	},
+	"vislat": func(e *Env, w io.Writer) error {
+		v, err := e.VisLat()
+		if err != nil {
+			return err
+		}
+		v.Render(w)
+		return nil
+	},
+}
+
+func TestGolden(t *testing.T) {
+	// One shared Env: the studies overlap heavily and the singleflight
+	// caches keep the whole sweep close to the cost of the largest study.
+	e := NewEnv(512, 1)
+	names := make([]string, 0, len(goldenStudies))
+	for n := range goldenStudies {
+		names = append(names, n)
+	}
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := goldenStudies[name](e, &buf); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			path := filepath.Join("testdata", "golden", name+".golden")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if err := diffGolden(string(want), buf.String(), goldenTol); err != nil {
+				t.Errorf("%s drifted from %s:\n%v", name, path, err)
+			}
+		})
+	}
+}
+
+// numToken matches the numeric tokens the differ compares under tolerance.
+var numToken = regexp.MustCompile(`-?\d+(?:\.\d+)?(?:[eE][-+]?\d+)?`)
+
+// diffGolden compares rendered output against a golden file: the non-numeric
+// skeleton must be byte-identical and each numeric token must be within
+// relative tolerance tol of its counterpart. Errors carry the first
+// offending line so drift is easy to localize.
+func diffGolden(want, got string, tol float64) error {
+	wantLines := strings.Split(want, "\n")
+	gotLines := strings.Split(got, "\n")
+	if len(wantLines) != len(gotLines) {
+		return fmt.Errorf("line count %d, want %d", len(gotLines), len(wantLines))
+	}
+	for i := range wantLines {
+		if err := diffLine(wantLines[i], gotLines[i], tol); err != nil {
+			return fmt.Errorf("line %d: %v\n  want: %s\n  got:  %s", i+1, err, wantLines[i], gotLines[i])
+		}
+	}
+	return nil
+}
+
+func diffLine(want, got string, tol float64) error {
+	if numToken.ReplaceAllString(want, "#") != numToken.ReplaceAllString(got, "#") {
+		return fmt.Errorf("text mismatch")
+	}
+	wantNums := numToken.FindAllString(want, -1)
+	gotNums := numToken.FindAllString(got, -1)
+	if len(wantNums) != len(gotNums) {
+		return fmt.Errorf("%d numeric tokens, want %d", len(gotNums), len(wantNums))
+	}
+	for j := range wantNums {
+		w, errW := strconv.ParseFloat(wantNums[j], 64)
+		g, errG := strconv.ParseFloat(gotNums[j], 64)
+		if errW != nil || errG != nil {
+			if wantNums[j] != gotNums[j] {
+				return fmt.Errorf("token %d: %q vs %q", j, gotNums[j], wantNums[j])
+			}
+			continue
+		}
+		if !withinTol(w, g, tol) {
+			return fmt.Errorf("token %d: %v drifted from %v (tol %g)", j, g, w, tol)
+		}
+	}
+	return nil
+}
+
+// withinTol reports whether got is within relative tolerance of want
+// (absolute tolerance near zero).
+func withinTol(want, got, tol float64) bool {
+	if want == got {
+		return true
+	}
+	diff := math.Abs(want - got)
+	scale := math.Max(math.Abs(want), math.Abs(got))
+	if scale < 1 {
+		return diff <= tol
+	}
+	return diff <= tol*scale
+}
+
+// TestGoldenDifferRejectsDrift pins the differ's own behavior: numbers
+// beyond tolerance and skeleton edits both fail, while in-tolerance float
+// jitter passes.
+func TestGoldenDifferRejectsDrift(t *testing.T) {
+	base := "speedup 1.500x over baseline\n"
+	if err := diffGolden(base, base, goldenTol); err != nil {
+		t.Fatalf("identical text rejected: %v", err)
+	}
+	if err := diffGolden(base, "speedup 1.5000000001x over baseline\n", 1e-6); err != nil {
+		t.Fatalf("in-tolerance drift rejected: %v", err)
+	}
+	if err := diffGolden(base, "speedup 1.600x over baseline\n", 1e-6); err == nil {
+		t.Fatal("out-of-tolerance drift accepted")
+	}
+	if err := diffGolden(base, "speedup 1.500x over BASELINE\n", 1e-6); err == nil {
+		t.Fatal("skeleton edit accepted")
+	}
+	if err := diffGolden(base, "speedup 1.500x over baseline 7\n", 1e-6); err == nil {
+		t.Fatal("extra numeric token accepted")
+	}
+}

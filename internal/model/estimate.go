@@ -3,9 +3,14 @@ package model
 import (
 	"math"
 
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/tile"
 )
+
+// modelEstimates counts per-tile model evaluations (one per (tile, worker)
+// pair through EstimateGrid), the dominant analytical-model cost.
+var modelEstimates = obs.NewCounter("model.estimates")
 
 // Estimate is the model's prediction for one (tile, worker-type) pair: the
 // tile's standalone execution time on one worker of that type (th_i / tc_i
@@ -87,6 +92,7 @@ func EstimateTile(w *Worker, t *tile.Tile, g *tile.Grid, p Params) Estimate {
 // pool; each writes only its own slot, so the result is bit-identical to a
 // serial evaluation.
 func EstimateGrid(w *Worker, g *tile.Grid, p Params) []Estimate {
+	modelEstimates.Add(int64(len(g.Tiles)))
 	out := make([]Estimate, len(g.Tiles))
 	par.Chunks(len(g.Tiles), func(lo, hi int) {
 		for i := lo; i < hi; i++ {

@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Manifest is the pinned record of one run: configuration, the span tree,
+// every registered counter/gauge, and a content hash of each produced
+// artifact. Written as JSON to runs/<name>.json by the CLIs (DESIGN.md §10).
+type Manifest struct {
+	Name     string            `json:"name"`
+	Created  string            `json:"created"` // RFC3339
+	Config   map[string]string `json:"config,omitempty"`
+	Spans    *SpanRecord       `json:"spans"`
+	Counters map[string]int64  `json:"counters"`
+	Outputs  []Output          `json:"outputs,omitempty"`
+}
+
+// SpanRecord is the serialized form of one span.
+type SpanRecord struct {
+	Name       string            `json:"name"`
+	DurationNS int64             `json:"duration_ns"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Children   []*SpanRecord     `json:"children,omitempty"`
+}
+
+// Output pins one produced artifact (a rendered table or figure, a written
+// file) by content hash, so a later run can prove it regenerated the same
+// bytes.
+type Output struct {
+	Name   string `json:"name"`
+	SHA256 string `json:"sha256"`
+	Bytes  int    `json:"bytes"`
+}
+
+// HashOutput returns the Output record for one artifact's bytes.
+func HashOutput(name string, data []byte) Output {
+	sum := sha256.Sum256(data)
+	return Output{Name: name, SHA256: hex.EncodeToString(sum[:]), Bytes: len(data)}
+}
+
+// AddOutput records a produced artifact's content hash for the manifest.
+func (t *Tracer) AddOutput(name string, data []byte) {
+	if t == nil {
+		return
+	}
+	out := HashOutput(name, data)
+	t.cfgMu.Lock()
+	t.outputs = append(t.outputs, out)
+	t.cfgMu.Unlock()
+}
+
+// record serializes a span subtree. Caller holds t.mu.
+func record(s *Span) *SpanRecord {
+	r := &SpanRecord{Name: s.Name, DurationNS: s.dur.Nanoseconds()}
+	if len(s.attrs) > 0 {
+		r.Attrs = make(map[string]string, len(s.attrs))
+		for _, a := range s.attrs {
+			r.Attrs[a.Key] = a.Val
+		}
+	}
+	for _, c := range s.children {
+		r.Children = append(r.Children, record(c))
+	}
+	return r
+}
+
+// Manifest finalizes the tracer (Finish) and assembles the run manifest,
+// snapshotting every registered counter and gauge.
+func (t *Tracer) Manifest() *Manifest {
+	if t == nil {
+		return nil
+	}
+	t.Finish()
+	t.mu.Lock()
+	spans := record(t.root)
+	name := t.root.Name
+	created := t.root.start.Format(time.RFC3339)
+	t.mu.Unlock()
+
+	t.cfgMu.Lock()
+	cfg := make(map[string]string, len(t.config))
+	for k, v := range t.config {
+		cfg[k] = v
+	}
+	outputs := append([]Output(nil), t.outputs...)
+	t.cfgMu.Unlock()
+
+	return &Manifest{
+		Name:     name,
+		Created:  created,
+		Config:   cfg,
+		Spans:    spans,
+		Counters: Snapshot(),
+		Outputs:  outputs,
+	}
+}
+
+// WriteManifest finalizes the tracer and writes the manifest as indented
+// JSON.
+func (t *Tracer) WriteManifest(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("obs: nil tracer")
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t.Manifest())
+}
+
+// ReadManifest parses a manifest previously written by WriteManifest.
+func ReadManifest(r io.Reader) (*Manifest, error) {
+	var m Manifest
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("obs: bad manifest: %w", err)
+	}
+	if m.Spans == nil {
+		return nil, fmt.Errorf("obs: manifest has no span tree")
+	}
+	return &m, nil
+}
+
+// Phases returns the names of the root's direct children (the pipeline
+// phases), in creation order.
+func (m *Manifest) Phases() []string {
+	var out []string
+	for _, c := range m.Spans.Children {
+		out = append(out, c.Name)
+	}
+	return out
+}
+
+// byTime is one row of the cumulative-time summary.
+type byTime struct {
+	name  string
+	count int
+	total time.Duration
+}
+
+// WriteSummary finalizes the tracer and prints a human-readable digest: the
+// top span names by cumulative (inclusive) time, then the nonzero counters.
+// This is what `-trace -` shows.
+func (t *Tracer) WriteSummary(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("obs: nil tracer")
+	}
+	m := t.Manifest()
+
+	agg := map[string]*byTime{}
+	var walk func(r *SpanRecord, depth int)
+	walk = func(r *SpanRecord, depth int) {
+		if depth > 0 { // the root's duration is the whole run; skip it
+			e, ok := agg[r.Name]
+			if !ok {
+				e = &byTime{name: r.Name}
+				agg[r.Name] = e
+			}
+			e.count++
+			e.total += time.Duration(r.DurationNS)
+		}
+		for _, c := range r.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(m.Spans, 0)
+
+	rows := make([]*byTime, 0, len(agg))
+	for _, e := range agg {
+		rows = append(rows, e)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].total != rows[j].total {
+			return rows[i].total > rows[j].total
+		}
+		return rows[i].name < rows[j].name
+	})
+
+	fmt.Fprintf(w, "trace %s — total %v\n", m.Name, time.Duration(m.Spans.DurationNS).Round(time.Microsecond))
+	fmt.Fprintf(w, "%-32s%8s%14s\n", "span", "count", "cumulative")
+	const top = 20
+	for i, r := range rows {
+		if i >= top {
+			fmt.Fprintf(w, "… %d more span names\n", len(rows)-top)
+			break
+		}
+		fmt.Fprintf(w, "%-32s%8d%14v\n", r.name, r.count, r.total.Round(time.Microsecond))
+	}
+
+	names := make([]string, 0, len(m.Counters))
+	for name, v := range m.Counters {
+		if v != 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) > 0 {
+		fmt.Fprintln(w, "counters:")
+		for _, name := range names {
+			fmt.Fprintf(w, "  %-30s%12d\n", name, m.Counters[name])
+		}
+	}
+	for _, o := range m.Outputs {
+		fmt.Fprintf(w, "output %s: %d bytes, sha256 %s\n", o.Name, o.Bytes, o.SHA256[:12])
+	}
+	return nil
+}

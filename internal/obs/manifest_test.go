@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestManifestRoundTrip(t *testing.T) {
+	tr := New("spmmsim")
+	tr.SetConfig("scale", "512")
+	tr.SetConfig("seed", "1")
+	for _, phase := range []string{"generate", "tile", "estimate", "exec"} {
+		sp := tr.Phase(phase).Start("pap")
+		sp.End()
+	}
+	NewCounter("manifest.test.hits").Add(3)
+	tr.AddOutput("fig10", []byte("rendered table\n"))
+
+	var buf bytes.Buffer
+	if err := tr.WriteManifest(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadManifest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "spmmsim" || m.Config["scale"] != "512" || m.Config["seed"] != "1" {
+		t.Fatalf("config lost: %+v", m)
+	}
+	phases := m.Phases()
+	if len(phases) != 4 {
+		t.Fatalf("phases %v", phases)
+	}
+	for i, want := range []string{"generate", "tile", "estimate", "exec"} {
+		if phases[i] != want {
+			t.Fatalf("phase %d = %s, want %s", i, phases[i], want)
+		}
+	}
+	if m.Counters["manifest.test.hits"] != 3 {
+		t.Fatalf("counter %d", m.Counters["manifest.test.hits"])
+	}
+	if len(m.Outputs) != 1 {
+		t.Fatalf("outputs %v", m.Outputs)
+	}
+	o := m.Outputs[0]
+	want := HashOutput("fig10", []byte("rendered table\n"))
+	if o != want {
+		t.Fatalf("output %+v, want %+v", o, want)
+	}
+	if o.Bytes != 15 || len(o.SHA256) != 64 {
+		t.Fatalf("hash record %+v", o)
+	}
+}
+
+func TestReadManifestRejectsGarbage(t *testing.T) {
+	if _, err := ReadManifest(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadManifest(strings.NewReader(`{"name":"x"}`)); err == nil {
+		t.Fatal("manifest without spans accepted")
+	}
+}
+
+func TestWriteSummary(t *testing.T) {
+	tr := New("sum")
+	ph := tr.Phase("exec")
+	for i := 0; i < 3; i++ {
+		ph.Start("job").End()
+	}
+	NewCounter("summary.test.count").Inc()
+	tr.AddOutput("tab6", []byte("x"))
+	var buf bytes.Buffer
+	if err := tr.WriteSummary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"trace sum", "exec", "job", "summary.test.count", "output tab6"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+	var nilTr *Tracer
+	if err := nilTr.WriteSummary(&buf); err == nil {
+		t.Fatal("nil tracer summary succeeded")
+	}
+	if err := nilTr.WriteManifest(&buf); err == nil {
+		t.Fatal("nil tracer manifest succeeded")
+	}
+}

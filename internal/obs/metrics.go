@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a process-wide monotonically increasing atomic counter.
+// Counters are always live — an Add is a single atomic increment — so
+// instrumented packages register them at init and bump them without caring
+// whether a trace is being collected. A nil Counter is a no-op.
+type Counter struct {
+	name string
+	n    atomic.Int64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) {
+	if c != nil {
+		c.n.Add(d)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.n.Load()
+}
+
+// Gauge tracks an instantaneous level and its high-water mark (e.g. the
+// worker pool's extra-goroutine depth). A nil Gauge is a no-op.
+type Gauge struct {
+	name     string
+	cur, max atomic.Int64
+}
+
+// Set records the current level and updates the high-water mark.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.cur.Store(v)
+	for {
+		m := g.max.Load()
+		if v <= m || g.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// Load returns the current level.
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.cur.Load()
+}
+
+// Max returns the high-water mark.
+func (g *Gauge) Max() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.max.Load()
+}
+
+// registry holds every counter and gauge created through NewCounter and
+// NewGauge so Snapshot can enumerate them for manifests.
+var registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+}
+
+// NewCounter returns the process-wide counter with the given name, creating
+// it on first use (calls with the same name share one counter).
+func NewCounter(name string) *Counter {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if registry.counters == nil {
+		registry.counters = map[string]*Counter{}
+	}
+	if c, ok := registry.counters[name]; ok {
+		return c
+	}
+	c := &Counter{name: name}
+	registry.counters[name] = c
+	return c
+}
+
+// NewGauge returns the process-wide gauge with the given name, creating it
+// on first use.
+func NewGauge(name string) *Gauge {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if registry.gauges == nil {
+		registry.gauges = map[string]*Gauge{}
+	}
+	if g, ok := registry.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{name: name}
+	registry.gauges[name] = g
+	return g
+}
+
+// Snapshot returns the current value of every registered counter, plus each
+// gauge's level (name) and high-water mark (name + ".max").
+func Snapshot() map[string]int64 {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	out := make(map[string]int64, len(registry.counters)+2*len(registry.gauges))
+	for name, c := range registry.counters {
+		out[name] = c.Load()
+	}
+	for name, g := range registry.gauges {
+		out[name] = g.Load()
+		out[name+".max"] = g.Max()
+	}
+	return out
+}
+
+// MetricNames returns the registered counter and gauge names, sorted.
+func MetricNames() []string {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	names := make([]string, 0, len(registry.counters)+len(registry.gauges))
+	for name := range registry.counters {
+		names = append(names, name)
+	}
+	for name := range registry.gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,6 +1,17 @@
 package par
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Cache hit/miss counters, aggregated across every Cache instance (the
+// experiment Env's matrix/grid/estimate/run caches all report here).
+var (
+	cacheHits   = obs.NewCounter("par.cache.hits")
+	cacheMisses = obs.NewCounter("par.cache.misses")
+)
 
 // Cache is a per-key singleflight memo. The first Get for a key runs build
 // exactly once; concurrent Gets for the same key block until that build
@@ -34,12 +45,14 @@ func (c *Cache[K, V]) Get(key K, build func() (V, error)) (V, error) {
 	}
 	if f, ok := c.m[key]; ok {
 		c.mu.Unlock()
+		cacheHits.Inc()
 		<-f.done
 		return f.val, f.err
 	}
 	f := &flight[V]{done: make(chan struct{})}
 	c.m[key] = f
 	c.mu.Unlock()
+	cacheMisses.Inc()
 
 	f.val, f.err = build()
 	close(f.done)

@@ -17,6 +17,16 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Pool observability: spawned counts every extra goroutine ever started for
+// a fan-out; depth mirrors the current extra-goroutine level (its .max is
+// the deepest concurrent fan-out of the run).
+var (
+	poolSpawned = obs.NewCounter("par.pool.spawned")
+	poolDepth   = obs.NewGauge("par.pool.depth")
 )
 
 // override holds the SetWorkers value; 0 means "use GOMAXPROCS".
@@ -53,12 +63,14 @@ func tryAcquire() bool {
 			return false
 		}
 		if extra.CompareAndSwap(cur, cur+1) {
+			poolSpawned.Inc()
+			poolDepth.Set(int64(cur + 1))
 			return true
 		}
 	}
 }
 
-func release() { extra.Add(-1) }
+func release() { poolDepth.Set(int64(extra.Add(-1))) }
 
 // ForEach runs fn(i) for every i in [0, n), fanning out over the worker
 // pool. It returns once every call has completed. With a pool size of 1

@@ -3,6 +3,18 @@ package sim
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/obs"
+)
+
+// Engine observability: engine invocations, work units drained, and event-
+// loop steps (each step advances simulated time to the next counter
+// completion). Counters are bumped once per engine run, never inside the
+// per-worker inner loops.
+var (
+	engineRuns  = obs.NewCounter("sim.engine.runs")
+	engineUnits = obs.NewCounter("sim.engine.units")
+	engineSteps = obs.NewCounter("sim.engine.steps")
 )
 
 // phase is one stage of a work unit: compute seconds and memory bytes that
@@ -72,6 +84,12 @@ func runEngineTraced(pools []*pool, totalBW float64, tr *tracer) (float64, []poo
 	if totalBW <= 0 {
 		return 0, nil, fmt.Errorf("sim: non-positive bandwidth")
 	}
+	engineRuns.Inc()
+	for _, p := range pools {
+		engineUnits.Add(int64(len(p.units)))
+	}
+	steps := int64(0)
+	defer func() { engineSteps.Add(steps) }()
 	stats := make([]poolStats, len(pools))
 	var workers []*workerState
 	next := make([]int, len(pools)) // next unit index per pool
@@ -137,6 +155,7 @@ func runEngineTraced(pools []*pool, totalBW float64, tr *tracer) (float64, []poo
 		}
 		tr.record(now, dt, workers, len(pools))
 
+		steps++
 		now += dt
 		for _, w := range workers {
 			if w.unitIdx < 0 {

@@ -1,0 +1,78 @@
+package sparse
+
+// FuzzCOOToCSR feeds arbitrary byte strings, decoded into COO matrices with
+// possibly out-of-range coordinates, through the normalization pipeline
+// (SortRowMajor + DedupSum) and — when the result validates — through the
+// COO→CSR→COO round trip. Nothing along the way may panic, and a valid
+// round trip must preserve the nonzero multiset exactly.
+
+import (
+	"testing"
+)
+
+// decodeCOO interprets data as a stream of (row, col, val) triples over a
+// matrix whose dimension is derived from the first byte. Coordinates are
+// signed bytes, so negative and out-of-range indices occur naturally.
+func decodeCOO(data []byte) *COO {
+	n := 1
+	if len(data) > 0 {
+		n += int(data[0]) % 128
+	}
+	m := NewCOO(n, len(data)/3)
+	for i := 1; i+2 < len(data); i += 3 {
+		r := int32(int8(data[i]))
+		c := int32(int8(data[i+1]))
+		v := float64(int8(data[i+2]))
+		m.Append(r, c, v)
+	}
+	return m
+}
+
+func FuzzCOOToCSR(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{4, 0, 0, 1})
+	f.Add([]byte{8, 1, 2, 3, 1, 2, 5, 7, 0, 1}) // duplicate coordinate
+	f.Add([]byte{2, 0xFF, 0x01, 0x09})          // negative row
+	f.Add([]byte{1, 0x7F, 0x00, 0x01})          // row beyond dimension
+	f.Add([]byte{16, 3, 3, 0})                  // explicit zero value
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m := decodeCOO(data)
+
+		// Normalization must never panic, whatever the coordinates.
+		m.SortRowMajor()
+		m.DedupSum()
+
+		if err := m.Validate(); err != nil {
+			return // out-of-range input is rightly rejected; panics are not
+		}
+
+		csr := ToCSR(m)
+		if csr == nil {
+			t.Fatal("ToCSR returned nil for a valid matrix")
+		}
+		if err := csr.Validate(); err != nil {
+			t.Fatalf("CSR of a valid COO fails validation: %v", err)
+		}
+		if csr.NNZ() != m.NNZ() {
+			t.Fatalf("CSR has %d nonzeros, COO has %d", csr.NNZ(), m.NNZ())
+		}
+
+		back := csr.ToCOO()
+		if back.N != m.N || back.NNZ() != m.NNZ() {
+			t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
+				back.N, back.NNZ(), m.N, m.NNZ())
+		}
+		// A validated COO is row-major with unique coordinates, and
+		// CSR.ToCOO emits row-major order, so the round trip must be an
+		// exact entry-for-entry match — the nonzero multiset is preserved.
+		for i := 0; i < m.NNZ(); i++ {
+			r1, c1, v1 := m.At(i)
+			r2, c2, v2 := back.At(i)
+			if r1 != r2 || c1 != c2 || v1 != v2 {
+				t.Fatalf("round trip changed entry %d: (%d,%d)=%g vs (%d,%d)=%g",
+					i, r2, c2, v2, r1, c1, v1)
+			}
+		}
+	})
+}

@@ -10,8 +10,15 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/sparse"
+)
+
+// Tiling observability: grids built and non-empty tiles materialized.
+var (
+	gridsBuilt       = obs.NewCounter("tile.grids")
+	tilesPartitioned = obs.NewCounter("tile.partitioned")
 )
 
 // Tile is one non-empty tile of the grid. Its nonzeros live in the owning
@@ -112,6 +119,8 @@ func Partition(m *sparse.COO, tileH, tileW int) (*Grid, error) {
 		}
 	}
 	g.PanelStart[g.NumTR] = len(g.Tiles)
+	gridsBuilt.Inc()
+	tilesPartitioned.Add(int64(len(g.Tiles)))
 	par.Chunks(len(g.Tiles), func(lo, hi int) {
 		var scratch []int32
 		for ti := lo; ti < hi; ti++ {
