@@ -1,7 +1,9 @@
 # Development entry points. `make ci` is the gate every change must pass:
-# vet, build, the full test suite under the race detector (the parallel
-# experiment engine makes -race meaningful; see DESIGN.md §9), and the
-# coverage report with its per-package floor.
+# vet, formatting, build, the hottileslint analyzer suite (plus the shadow
+# pass through `go vet -vettool`; see DESIGN.md §11), the full test suite
+# under the race detector (the parallel experiment engine makes -race
+# meaningful; see DESIGN.md §9), and the coverage report with its
+# per-package floor.
 
 GO ?= go
 
@@ -14,15 +16,41 @@ COVER_FLOOR     = 60
 # Seconds of coverage-guided fuzzing per fuzzer in `make fuzz`.
 FUZZTIME ?= 10s
 
-.PHONY: ci vet build test race bench cover fuzz golden
+.PHONY: ci vet fmtcheck build lint shadow test race bench cover fuzz golden
 
-ci: vet build race cover
+ci: vet fmtcheck build lint shadow race cover
 
 vet:
 	$(GO) vet ./...
 
+# fmtcheck fails when any file is not gofmt-clean (testdata included; the
+# analyzer fixtures are real Go code and drift there is just as confusing).
+fmtcheck:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "fmtcheck: files need gofmt:"; echo "$$out"; exit 1; \
+	fi; \
+	echo "fmtcheck: all files gofmt-clean"
+
 build:
 	$(GO) build ./...
+
+# lint runs the hottileslint analyzer suite (DESIGN.md §11) over the whole
+# module in standalone mode. Any diagnostic fails the build.
+bin/hottileslint: FORCE
+	@mkdir -p bin
+	$(GO) build -o bin/hottileslint ./cmd/hottileslint
+
+lint: bin/hottileslint
+	./bin/hottileslint ./...
+
+# shadow runs the same binary through the `go vet -vettool` protocol with
+# only the shadow analyzer enabled — exercising the unitchecker path in CI
+# and catching shadowed variables that plain `go vet` no longer reports.
+shadow: bin/hottileslint
+	$(GO) vet -vettool=$(CURDIR)/bin/hottileslint -shadow ./...
+
+FORCE:
 
 test:
 	$(GO) test ./...

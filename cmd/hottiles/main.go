@@ -127,10 +127,10 @@ func main() {
 
 	if *autotile {
 		atSp := tr.Phase("autotile").Start("sweep")
-		best, sweep, err := hottiles.AutoTileSize(m, &a, []int{64, 128, 256, 512, 1024}, *opsPerMAC)
+		best, sweep, atErr := hottiles.AutoTileSize(m, &a, []int{64, 128, 256, 512, 1024}, *opsPerMAC)
 		atSp.End()
-		if err != nil {
-			fail(err)
+		if atErr != nil {
+			fail(atErr)
 		}
 		a.TileH, a.TileW = best, best
 		fmt.Printf("auto tile sizing picked %d:", best)
@@ -146,14 +146,15 @@ func main() {
 	if *loadPlan != "" {
 		// The paper's train-once/infer-many workflow (§VI-B): reuse a
 		// stored plan instead of re-running scan/model/partition.
-		pf, err := os.Open(*loadPlan)
-		if err != nil {
-			fail(err)
+		pf, openErr := os.Open(*loadPlan)
+		if openErr != nil {
+			fail(openErr)
 		}
-		plan, err = hottiles.ReadPlan(pf)
+		var planErr error
+		plan, planErr = hottiles.ReadPlan(pf)
 		pf.Close()
-		if err != nil {
-			fail(err)
+		if planErr != nil {
+			fail(planErr)
 		}
 		if plan.Grid.N != m.N || plan.Grid.NNZ() != m.NNZ() {
 			fail(fmt.Errorf("stored plan is for a %d/%d matrix, input is %d/%d",

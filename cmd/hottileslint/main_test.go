@@ -1,0 +1,148 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/passes"
+)
+
+// buildTool compiles the hottileslint binary once per test process and
+// returns its path.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "hottileslint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// repoRoot returns the module root (tests run in cmd/hottileslint).
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// TestVettoolHandshake checks the two probes the go command sends before
+// trusting a -vettool: -V=full must print a stable fingerprint line and
+// -flags must describe every analyzer as a boolean flag.
+func TestVettoolHandshake(t *testing.T) {
+	bin := buildTool(t)
+
+	out, err := exec.Command(bin, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("-V=full: %v", err)
+	}
+	if !strings.HasPrefix(string(out), "hottileslint version ") || !strings.Contains(string(out), "buildID=") {
+		t.Errorf("-V=full output %q lacks name/buildID", out)
+	}
+
+	out, err = exec.Command(bin, "-flags").Output()
+	if err != nil {
+		t.Fatalf("-flags: %v", err)
+	}
+	var flags []struct {
+		Name string
+		Bool bool
+	}
+	if err := json.Unmarshal(out, &flags); err != nil {
+		t.Fatalf("-flags is not JSON: %v\n%s", err, out)
+	}
+	byName := map[string]bool{}
+	for _, f := range flags {
+		byName[f.Name] = f.Bool
+	}
+	for _, a := range passes.All() {
+		if !byName[a.Name] {
+			t.Errorf("-flags does not advertise analyzer %q as boolean", a.Name)
+		}
+	}
+}
+
+// TestVetIntegration drives the binary through the real `go vet -vettool`
+// protocol over the whole module with the shadow pass; the repo must be
+// clean.
+func TestVetIntegration(t *testing.T) {
+	bin := buildTool(t)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "-shadow", "./...")
+	cmd.Dir = repoRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool: %v\n%s", err, out)
+	}
+}
+
+// TestStandaloneCleanRepo runs the full suite in standalone mode over the
+// module, mirroring `make lint`: exit 0, no output.
+func TestStandaloneCleanRepo(t *testing.T) {
+	bin := buildTool(t)
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = repoRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("standalone run: %v\n%s", err, out)
+	}
+}
+
+// TestStandaloneFindsViolation points the tool at a scratch module with a
+// naked go statement: exit code 1 and a nakedgo diagnostic, in both text
+// and -json form.
+func TestStandaloneFindsViolation(t *testing.T) {
+	bin := buildTool(t)
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module scratch\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "scratch.go"), `package scratch
+
+// Leak spawns an unpooled goroutine.
+func Leak(fn func()) {
+	go fn()
+}
+`)
+
+	cmd := exec.Command(bin, "-C", dir, "./...")
+	out, err := cmd.CombinedOutput()
+	if code := cmd.ProcessState.ExitCode(); code != 1 {
+		t.Fatalf("exit code = %d (err %v), want 1\n%s", code, err, out)
+	}
+	if !strings.Contains(string(out), "nakedgo") || !strings.Contains(string(out), "raw go statement") {
+		t.Errorf("diagnostic output missing nakedgo finding:\n%s", out)
+	}
+
+	cmd = exec.Command(bin, "-C", dir, "-json", "./...")
+	out, _ = cmd.CombinedOutput()
+	if code := cmd.ProcessState.ExitCode(); code != 1 {
+		t.Fatalf("-json exit code = %d, want 1\n%s", code, out)
+	}
+	var diags []struct {
+		Analyzer string `json:"analyzer"`
+		Posn     string `json:"posn"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(out, &diags); err != nil {
+		t.Fatalf("-json output is not JSON: %v\n%s", err, out)
+	}
+	if len(diags) != 1 || diags[0].Analyzer != "nakedgo" {
+		t.Errorf("-json diagnostics = %+v, want one nakedgo finding", diags)
+	}
+
+	// Disabling the analyzer silences the finding.
+	cmd = exec.Command(bin, "-C", dir, "-nakedgo=false", "./...")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("-nakedgo=false run: %v\n%s", err, out)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"sort"
 
 	hottiles "repro"
 	"repro/internal/gen"
@@ -20,8 +21,14 @@ func main() {
 		"dense math graph": gen.Mycielskian(11),
 		"FEM stencil":      gen.Stencil3D(20, 20, 20, 1),
 	}
+	names := make([]string, 0, len(matrices))
+	for name := range matrices {
+		names = append(names, name)
+	}
+	sort.Strings(names) // map order is random; keep the report stable
 
-	for name, m := range matrices {
+	for _, name := range names {
+		m := matrices[name]
 		fmt.Printf("%s: %d rows, %d nonzeros, density %.1e\n",
 			name, m.N, m.NNZ(), m.Density())
 		entries, err := hottiles.IsoScaleExplore(m, 8, 256)

@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Run applies every analyzer to every package and returns the surviving
+// diagnostics, sorted by position then analyzer. Diagnostics on a line
+// covered by a matching //lint:ignore directive are dropped.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ignores := collectIgnores(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.Report = func(d Diagnostic) {
+				d.Analyzer = a.Name
+				d.Posn = pkg.Fset.Position(d.Pos)
+				if !ignores.covers(d) {
+					diags = append(diags, d)
+				}
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", pkg.Path, a.Name, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Posn.Filename != b.Posn.Filename {
+			return a.Posn.Filename < b.Posn.Filename
+		}
+		if a.Posn.Line != b.Posn.Line {
+			return a.Posn.Line < b.Posn.Line
+		}
+		if a.Posn.Column != b.Posn.Column {
+			return a.Posn.Column < b.Posn.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// ignoreSet records //lint:ignore directives: per file, the lines each
+// directive covers and the analyzer names it names.
+type ignoreSet map[string]map[int][]string
+
+// covers reports whether d's line is suppressed for d.Analyzer.
+func (s ignoreSet) covers(d Diagnostic) bool {
+	for _, name := range s[d.Posn.Filename][d.Posn.Line] {
+		if name == d.Analyzer || name == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+// collectIgnores scans each file's comments for suppression directives of
+// the form
+//
+//	//lint:ignore name1,name2 reason
+//
+// A directive covers its own line (trailing-comment style) and the line
+// after it (preceding-comment style). The reason is mandatory — a
+// directive without one does not suppress anything, so a bare ignore can
+// never silence a finding without leaving a written justification behind.
+func collectIgnores(pkg *Package) ignoreSet {
+	set := ignoreSet{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, ok := parseIgnore(c.Text)
+				if !ok {
+					continue
+				}
+				posn := pkg.Fset.Position(c.Pos())
+				m := set[posn.Filename]
+				if m == nil {
+					m = map[int][]string{}
+					set[posn.Filename] = m
+				}
+				m[posn.Line] = append(m[posn.Line], names...)
+				m[posn.Line+1] = append(m[posn.Line+1], names...)
+			}
+		}
+	}
+	return set
+}
+
+// parseIgnore extracts the analyzer names from one //lint:ignore comment.
+// It requires a non-empty reason after the name list.
+func parseIgnore(text string) ([]string, bool) {
+	const prefix = "//lint:ignore "
+	if !strings.HasPrefix(text, prefix) {
+		return nil, false
+	}
+	fields := strings.Fields(text[len(prefix):])
+	if len(fields) < 2 { // names + at least one reason word
+		return nil, false
+	}
+	return strings.Split(fields[0], ","), true
+}
+
+// WriteText prints diagnostics in the conventional file:line:col form.
+func WriteText(w io.Writer, diags []Diagnostic) {
+	for _, d := range diags {
+		fmt.Fprintf(w, "%s: %s: %s\n", d.Posn, d.Analyzer, d.Message)
+	}
+}
+
+// jsonDiag is the -json serialization of one diagnostic.
+type jsonDiag struct {
+	Analyzer string `json:"analyzer"`
+	Posn     string `json:"posn"`
+	Message  string `json:"message"`
+}
+
+// WriteJSON prints diagnostics as an indented JSON array (always an array,
+// "[]" when clean, so scripts can parse unconditionally).
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{Analyzer: d.Analyzer, Posn: d.Posn.String(), Message: d.Message})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Inspect walks every file in the pass with ast.Inspect.
+func (p *Pass) Inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}

@@ -1,0 +1,68 @@
+// Package floateq flags == and != between computed floating-point values
+// in the numeric core (internal/model, internal/partition, internal/sim).
+// The analytical model and the simulator both derive times from long float
+// pipelines; exact comparison there is either dead (never true) or a
+// latent nondeterminism when an optimization reassociates the arithmetic.
+// The tolerance-aware golden differ (PR 2) compares with an epsilon for
+// exactly this reason — code in these packages must do the same
+// (math.Abs(a-b) <= eps) or compare representable sentinels only.
+//
+// Comparisons where either operand is a compile-time constant (x == 0,
+// t != initialSentinel) are exempt: sentinel checks against exactly
+// representable values are deliberate and safe.
+package floateq
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// scope lists the package path suffixes where exact float comparison is an
+// error.
+var scope = []string{"internal/model", "internal/partition", "internal/sim"}
+
+// Analyzer is the floateq pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "floateq",
+	Doc:  "flags ==/!= on computed floats in internal/model, internal/partition and internal/sim (use an epsilon)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PathHasAnySuffix(pass.Pkg.Path(), scope) {
+		return nil
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		cmp, ok := n.(*ast.BinaryExpr)
+		if !ok || (cmp.Op != token.EQL && cmp.Op != token.NEQ) {
+			return true
+		}
+		if !isFloat(pass, cmp.X) && !isFloat(pass, cmp.Y) {
+			return true
+		}
+		if isConst(pass, cmp.X) || isConst(pass, cmp.Y) {
+			return true
+		}
+		pass.Reportf(cmp.OpPos,
+			"exact %s on floating point: compare with an epsilon (math.Abs(a-b) <= eps), matching the golden differ's tolerance",
+			cmp.Op)
+		return true
+	})
+	return nil
+}
+
+func isFloat(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.Types[e].Type
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isConst(pass *analysis.Pass, e ast.Expr) bool {
+	return pass.TypesInfo.Types[e].Value != nil
+}

@@ -1,0 +1,6 @@
+// Package outofscope is outside the floateq path scope: even exact float
+// comparison stays silent here.
+package outofscope
+
+// Same compares floats exactly but is not in a scoped package.
+func Same(a, b float64) bool { return a == b }

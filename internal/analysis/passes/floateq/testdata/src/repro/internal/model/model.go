@@ -1,0 +1,23 @@
+// Package model sits at an in-scope path suffix for the floateq analyzer.
+package model
+
+// TimesMatch compares two computed times exactly: both operands flagged
+// comparisons.
+func TimesMatch(a, b float64) bool {
+	if a == b { // want `exact == on floating point`
+		return true
+	}
+	return a-1 != b+1 // want `exact != on floating point`
+}
+
+// SentinelChecks compare against compile-time constants: silent.
+func SentinelChecks(t float64) bool {
+	if t == 0 {
+		return false
+	}
+	const unset = -1.0
+	return t != unset
+}
+
+// IntCompare is not floating point: silent.
+func IntCompare(a, b int) bool { return a == b }

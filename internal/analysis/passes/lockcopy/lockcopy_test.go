@@ -1,0 +1,12 @@
+package lockcopy_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/lockcopy"
+)
+
+func TestLockCopy(t *testing.T) {
+	analysistest.Run(t, "testdata", lockcopy.Analyzer, "locks", "repro/internal/par")
+}

@@ -1,0 +1,29 @@
+// Package par is a minimal stub of the real singleflight cache, placed at
+// the matching import-path suffix so lockcopy's type checks apply to
+// testdata code.
+package par
+
+import "sync"
+
+// Cache mirrors the real par.Cache surface.
+type Cache[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]V
+}
+
+// Get returns the cached value for key, building it on first use.
+func (c *Cache[K, V]) Get(key K, build func() (V, error)) (V, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if v, ok := c.m[key]; ok {
+		return v, nil
+	}
+	v, err := build()
+	if err == nil {
+		if c.m == nil {
+			c.m = map[K]V{}
+		}
+		c.m[key] = v
+	}
+	return v, err
+}

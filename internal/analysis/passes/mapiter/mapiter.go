@@ -1,0 +1,236 @@
+// Package mapiter flags `range` loops over maps whose iteration order can
+// leak into ordered output. Go randomizes map iteration, so a loop that
+// appends to a slice (later rendered into golden files, manifests or
+// stdout), prints directly, or accumulates floating point (whose addition
+// is not associative) produces run-to-run different bytes — the #1 threat
+// to the golden-file regression net PR 2 installed (DESIGN.md §10).
+//
+// A loop is reported when its body
+//
+//   - appends to a slice declared outside the loop, unless a sort.*/slices.*
+//     call mentioning that slice follows in the same enclosing block;
+//   - calls an ordered sink (fmt.Print*/Fprint*, or any Write*/Print*
+//     method) — printing per-iteration cannot be fixed up afterwards;
+//   - accumulates into a float (+=, -=, *=, /=) declared outside the loop,
+//     since float reduction order changes low bits.
+//
+// Writes keyed by the loop variable (m2[k] = v), integer accumulation and
+// min/max scans are order-insensitive and stay silent.
+package mapiter
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the mapiter pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "mapiter",
+	Doc: "flags map iteration whose order reaches ordered output " +
+		"(slice appends without a following sort, direct printing, float accumulation)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.Types[rng.X].Type
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRange(pass, file, rng)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapRange inspects one range-over-map body for order-sensitive sinks.
+func checkMapRange(pass *analysis.Pass, file *ast.File, rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.AssignStmt:
+			checkAssign(pass, file, rng, stmt)
+		case *ast.ExprStmt:
+			if call, ok := stmt.X.(*ast.CallExpr); ok && isOrderedSink(pass, call) {
+				pass.Reportf(call.Pos(),
+					"printing inside range over map: iteration order is random, output bytes differ run to run")
+			}
+		}
+		return true
+	})
+}
+
+// checkAssign flags slice appends and float accumulation targeting
+// variables that outlive the loop.
+func checkAssign(pass *analysis.Pass, file *ast.File, rng *ast.RangeStmt, as *ast.AssignStmt) {
+	switch as.Tok {
+	case token.ASSIGN, token.DEFINE:
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) {
+				break
+			}
+			call, ok := analysis.Unparen(as.Rhs[i]).(*ast.CallExpr)
+			if !ok || !isBuiltinAppend(pass, call) {
+				continue
+			}
+			root := analysis.RootIdent(lhs)
+			if root == nil || !declaredOutside(pass, root, rng) {
+				continue
+			}
+			// Keyed writes (m2[k] = append(m2[k], v)) group by key, which
+			// is the order-insensitive idiom; only flat appends carry the
+			// iteration order into the result.
+			if hasIndex(lhs) {
+				continue
+			}
+			// Appending the map's values in random order is fine when the
+			// caller restores a deterministic order right after the loop.
+			if sortedAfter(pass, file, rng, root) {
+				continue
+			}
+			pass.Reportf(as.Pos(),
+				"append to %q inside range over map without a following sort: element order is random run to run",
+				root.Name)
+		}
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		root := analysis.RootIdent(as.Lhs[0])
+		if root == nil || !declaredOutside(pass, root, rng) || hasIndex(as.Lhs[0]) {
+			return
+		}
+		if t := pass.TypesInfo.Types[as.Lhs[0]].Type; t != nil && isFloat(t) {
+			pass.Reportf(as.Pos(),
+				"float accumulation into %q inside range over map: reduction order is random, low bits differ run to run",
+				root.Name)
+		}
+	}
+}
+
+// hasIndex reports whether the lvalue chain contains an index expression.
+func hasIndex(e ast.Expr) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.IndexExpr:
+			return true
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// declaredOutside reports whether id resolves to a variable declared before
+// the range statement (so its value survives the loop).
+func declaredOutside(pass *analysis.Pass, id *ast.Ident, rng *ast.RangeStmt) bool {
+	obj := pass.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() < rng.Pos()
+}
+
+// isBuiltinAppend recognizes calls to the append builtin.
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := analysis.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.ObjectOf(id).(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// isOrderedSink recognizes calls that emit bytes in call order: fmt's
+// Print/Fprint family and any method whose name starts with Write or Print
+// (io.Writer, strings.Builder, bytes.Buffer, tabwriter, …).
+func isOrderedSink(pass *analysis.Pass, call *ast.CallExpr) bool {
+	f := pass.CalleeFunc(call)
+	if f == nil {
+		return false
+	}
+	name := f.Name()
+	if f.Pkg() != nil && f.Pkg().Path() == "fmt" &&
+		(strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")) {
+		return true
+	}
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return strings.HasPrefix(name, "Write") || strings.HasPrefix(name, "Print")
+	}
+	return false
+}
+
+// sortedAfter reports whether a sort.* or slices.* call mentioning root's
+// variable appears after the range statement within the function that
+// encloses it.
+func sortedAfter(pass *analysis.Pass, file *ast.File, rng *ast.RangeStmt, root *ast.Ident) bool {
+	obj := pass.ObjectOf(root)
+	if obj == nil {
+		return false
+	}
+	scope := enclosingFunc(file, rng)
+	if scope == nil {
+		scope = file
+	}
+	found := false
+	ast.Inspect(scope, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		f := pass.CalleeFunc(call)
+		if f == nil || f.Pkg() == nil {
+			return true
+		}
+		if p := f.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			argRoot := analysis.RootIdent(arg)
+			if argRoot != nil && pass.ObjectOf(argRoot) == obj {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// enclosingFunc returns the innermost function declaration or literal whose
+// body contains the range statement.
+func enclosingFunc(file *ast.File, rng *ast.RangeStmt) ast.Node {
+	var best ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			if n.Pos() <= rng.Pos() && rng.End() <= n.End() {
+				best = n // keep descending: innermost wins
+			}
+		}
+		return true
+	})
+	return best
+}

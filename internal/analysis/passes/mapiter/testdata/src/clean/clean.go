@@ -1,0 +1,19 @@
+// Package clean is the mapiter negative package: ordered iteration only,
+// no diagnostics expected.
+package clean
+
+import "sort"
+
+// Render walks a map through sorted keys, the pattern the analyzer wants.
+func Render(m map[string]int) []int {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]int, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+// Package mapiter exercises the mapiter analyzer: positive cases carry
+// want comments, the rest must stay silent.
+package mapiter
+
+import (
+	"fmt"
+	"sort"
+)
+
+// appendNoSort leaks map order into a slice that is returned as-is.
+func appendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to "keys" inside range over map without a following sort`
+	}
+	return keys
+}
+
+// printInLoop emits bytes per iteration; no fix-up is possible afterwards.
+func printInLoop(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `printing inside range over map`
+	}
+}
+
+// floatAccum reduces floats in random order.
+func floatAccum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want `float accumulation into "total" inside range over map`
+	}
+	return total
+}
+
+// appendThenSort restores a deterministic order after the loop: silent.
+func appendThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// keyedWrites group by key, the order-insensitive idiom: silent.
+func keyedWrites(m map[string][]int) map[string]int {
+	counts := map[string]int{}
+	sums := map[string][]int{}
+	for k, vs := range m {
+		counts[k] = len(vs)
+		sums[k] = append(sums[k], len(vs))
+	}
+	return counts
+}
+
+// intAccum is exact regardless of order: silent.
+func intAccum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// sliceRange iterates a slice, which is ordered: silent.
+func sliceRange(xs []float64, w fmt.Stringer) float64 {
+	total := 0.0
+	var out []float64
+	for _, x := range xs {
+		total += x
+		out = append(out, x)
+		fmt.Println(x)
+	}
+	return total + out[0]
+}
+
+// localAppend builds and consumes the slice inside the loop body: silent.
+func localAppend(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}

@@ -1,0 +1,40 @@
+// Package nakedgo forbids raw `go` statements outside internal/par. The
+// repository's concurrency model (DESIGN.md §9) routes every fan-out
+// through par.ForEach/Chunks so total goroutine count stays bounded by the
+// GOMAXPROCS pool budget and nested parallel sections cannot deadlock or
+// oversubscribe; a stray `go` elsewhere escapes that budget and the
+// par.pool.* observability counters. Test files are out of scope (the
+// loader does not feed them to the suite) — exercising the pool from tests
+// with raw goroutines is legitimate.
+package nakedgo
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+)
+
+// allowed lists the package path suffixes that may spawn goroutines: the
+// pool itself.
+var allowed = []string{"internal/par"}
+
+// Analyzer is the nakedgo pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "nakedgo",
+	Doc:  "forbids raw go statements outside internal/par (all concurrency goes through the bounded pool)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if analysis.PathHasAnySuffix(pass.Pkg.Path(), allowed) {
+		return nil
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			pass.Reportf(g.Pos(),
+				"raw go statement outside internal/par: use par.ForEach/par.Chunks so concurrency stays inside the bounded pool")
+		}
+		return true
+	})
+	return nil
+}

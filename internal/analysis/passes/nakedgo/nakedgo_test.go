@@ -1,0 +1,12 @@
+package nakedgo_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/nakedgo"
+)
+
+func TestNakedGo(t *testing.T) {
+	analysistest.Run(t, "testdata", nakedgo.Analyzer, "work", "repro/internal/par")
+}

@@ -1,0 +1,17 @@
+// Package par is the nakedgo negative package: the pool itself may spawn
+// goroutines.
+package par
+
+// ForEach mimics the real pool's fan-out; its go statement is allowed.
+func ForEach(n int, fn func(int)) {
+	done := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			fn(i)
+			done <- struct{}{}
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+}

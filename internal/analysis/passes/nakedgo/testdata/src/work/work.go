@@ -1,0 +1,47 @@
+// Package work is the nakedgo positive package: raw goroutines outside
+// the pool.
+package work
+
+import "sync"
+
+// Fan spawns unbounded goroutines directly.
+func Fan(n int, fn func(int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) { // want `raw go statement outside internal/par`
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// Background leaks a goroutine with no pool budget at all.
+func Background(fn func()) {
+	go fn() // want `raw go statement outside internal/par`
+}
+
+// Suppressed demonstrates the escape hatch: a justified //lint:ignore
+// directive silences the diagnostic (no want here).
+func Suppressed(fn func()) {
+	//lint:ignore nakedgo testdata: exercising the suppression directive
+	go fn()
+}
+
+// SuppressedTrailing uses the same-line form.
+func SuppressedTrailing(fn func()) {
+	go fn() //lint:ignore nakedgo testdata: trailing directive form
+}
+
+// WrongName names a different analyzer, so the diagnostic survives.
+func WrongName(fn func()) {
+	//lint:ignore mapiter testdata: directive for another analyzer
+	go fn() // want `raw go statement outside internal/par`
+}
+
+// NoReason is malformed (no justification), so it does not suppress.
+func NoReason(fn func()) {
+	//lint:ignore nakedgo
+	go fn() // want `raw go statement outside internal/par`
+}

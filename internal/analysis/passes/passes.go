@@ -1,0 +1,27 @@
+// Package passes registers the repository's analyzer suite in its
+// canonical order. cmd/hottileslint, the unitchecker mode and the repo
+// smoke test all consume this one list so a new analyzer lands everywhere
+// by being appended here.
+package passes
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/passes/floateq"
+	"repro/internal/analysis/passes/lockcopy"
+	"repro/internal/analysis/passes/mapiter"
+	"repro/internal/analysis/passes/nakedgo"
+	"repro/internal/analysis/passes/shadow"
+	"repro/internal/analysis/passes/spanend"
+)
+
+// All returns the full analyzer suite in reporting order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		mapiter.Analyzer,
+		nakedgo.Analyzer,
+		spanend.Analyzer,
+		floateq.Analyzer,
+		lockcopy.Analyzer,
+		shadow.Analyzer,
+	}
+}

@@ -1,0 +1,120 @@
+// Package shadow is an offline re-implementation of the x/tools shadow
+// pass, with its low-false-positive heuristic: an inner declaration is
+// reported only when it shadows a function-local variable of the identical
+// type AND the outer variable is still used after the inner one's scope
+// ends — the case where a reader (or a later edit) can silently pick up
+// the wrong variable. Shadowing package-level names, differently-typed
+// names, or variables never touched again is deliberate Go style and stays
+// silent.
+package shadow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the shadow pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "shadow",
+	Doc:  "flags inner declarations that shadow a same-typed outer variable still used after the inner scope ends",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Gather every use position per object once; the "outer is used later"
+	// test needs them.
+	uses := map[types.Object][]token.Pos{}
+	for id, obj := range pass.TypesInfo.Uses {
+		uses[obj] = append(uses[obj], id.Pos())
+	}
+
+	// Like x/tools shadow, only short variable declarations and var specs
+	// are candidates — function (and function-type) parameters shadowing an
+	// outer name are idiomatic and stay silent.
+	for _, id := range declaredIdents(pass) {
+		obj := pass.TypesInfo.Defs[id]
+		v, ok := obj.(*types.Var)
+		if !ok || id.Name == "_" || v.IsField() {
+			continue
+		}
+		inner := v.Parent()
+		if inner == nil || inner.Parent() == nil {
+			continue
+		}
+		// Look up the name outward from the enclosing scope at the
+		// declaration position.
+		outerScope, outerObj := inner.Parent().LookupParent(id.Name, id.Pos())
+		if outerObj == nil {
+			continue
+		}
+		outer, ok := outerObj.(*types.Var)
+		if !ok || outer.IsField() {
+			continue
+		}
+		// Only function-local shadowing: the outer scope must itself be
+		// nested (its parent chain reaches the package scope without being
+		// the package or universe scope).
+		if outerScope == types.Universe || outerScope == pass.Pkg.Scope() || isFileScope(pass, outerScope) {
+			continue
+		}
+		if !types.Identical(v.Type(), outer.Type()) {
+			continue
+		}
+		if usedAfter(uses[outer], inner.End()) {
+			pass.Reportf(id.Pos(), "declaration of %q shadows declaration at %s",
+				id.Name, pass.Fset.Position(outer.Pos()))
+		}
+	}
+	return nil
+}
+
+// declaredIdents collects the identifiers introduced by := statements and
+// var declarations throughout the package.
+func declaredIdents(pass *analysis.Pass) []*ast.Ident {
+	var out []*ast.Ident
+	pass.Inspect(func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.AssignStmt:
+			if d.Tok == token.DEFINE {
+				for _, lhs := range d.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						out = append(out, id)
+					}
+				}
+			}
+		case *ast.GenDecl:
+			if d.Tok == token.VAR {
+				for _, spec := range d.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						out = append(out, vs.Names...)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isFileScope reports whether scope is one of the package's file scopes.
+func isFileScope(pass *analysis.Pass, scope *types.Scope) bool {
+	for _, f := range pass.Files {
+		if pass.TypesInfo.Scopes[f] == scope {
+			return true
+		}
+	}
+	return false
+}
+
+// usedAfter reports whether any use position lies at or beyond end.
+func usedAfter(positions []token.Pos, end token.Pos) bool {
+	for _, p := range positions {
+		if p >= end {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,56 @@
+// Package shade exercises the shadow analyzer.
+package shade
+
+import "strconv"
+
+// reuseAfter shadows x and then uses the outer x again: the classic bug.
+func reuseAfter(cond bool) int {
+	x := 1
+	if cond {
+		x := 2 // want `declaration of "x" shadows declaration at .*shade.go:8`
+		_ = x
+	}
+	return x
+}
+
+// errShadow loses the inner error: the outer err is checked afterwards.
+func errShadow(s string) error {
+	var err error
+	if s != "" {
+		n, err := strconv.Atoi(s) // want `declaration of "err" shadows declaration at .*shade.go:18`
+		_ = n
+		_ = err
+	}
+	return err
+}
+
+// differentType is deliberate re-use of a name for a new meaning: silent.
+func differentType(cond bool) int {
+	x := 1
+	if cond {
+		x := "two"
+		_ = x
+	}
+	return x
+}
+
+// notUsedAfter shadows a variable the outer scope never touches again:
+// harmless, silent.
+func notUsedAfter(cond bool) int {
+	x := 1
+	if cond {
+		x := x + 1
+		return x
+	}
+	return 0
+}
+
+// paramShadow: function-literal parameters may reuse outer names: silent.
+func paramShadow(xs []int) int {
+	n := 0
+	f := func(n int) int { return n * 2 }
+	for _, x := range xs {
+		n += f(x)
+	}
+	return n
+}

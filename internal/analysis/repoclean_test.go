@@ -1,0 +1,56 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/passes"
+)
+
+// TestRepoClean is the self-hosting smoke test: the full analyzer suite
+// over the whole module must report nothing. A regression here means a
+// change broke one of the repo invariants (or an analyzer grew a false
+// positive — either way, it blocks).
+func TestRepoClean(t *testing.T) {
+	pkgs, err := analysis.Load("../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; loader is missing the module", len(pkgs))
+	}
+	for _, p := range pkgs {
+		if len(p.TypeErrors) > 0 {
+			t.Fatalf("%s: type errors: %v", p.Path, p.TypeErrors)
+		}
+	}
+	diags, err := analysis.Run(pkgs, passes.All())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s: %s: %s", d.Posn, d.Analyzer, d.Message)
+	}
+}
+
+// TestSuiteShape pins the analyzer roster: names are unique, flag-safe and
+// documented, so the multichecker's per-analyzer flags cannot collide.
+func TestSuiteShape(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range passes.All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v incomplete", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if strings.ContainsAny(a.Name, " -=") {
+			t.Errorf("analyzer name %q is not flag-safe", a.Name)
+		}
+	}
+	if len(seen) < 5 {
+		t.Errorf("suite has %d analyzers, want at least 5", len(seen))
+	}
+}

@@ -1,0 +1,213 @@
+// Package unitchecker implements the `go vet -vettool` driver protocol for
+// the hottileslint suite, offline and stdlib-only (the x/tools
+// implementation is not vendorable here). The go command invokes the tool
+// three ways:
+//
+//	tool -V=full          → print a stable version fingerprint (cache key)
+//	tool -flags           → print the JSON description of accepted flags
+//	tool [flags] pkg.cfg  → analyze one package unit described by the JSON
+//	                        config cmd/go wrote next to its build artifacts
+//
+// The config supplies the file list and an export-data map for every
+// import, so type-checking here mirrors internal/analysis.Load but with
+// cmd/go doing the dependency resolution. The suite carries no analysis
+// facts; the .vetx output the protocol requires is written as an empty
+// placeholder and dependency-only invocations (VetxOnly) return
+// immediately.
+package unitchecker
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Config is the JSON schema cmd/go writes for each package vet unit. Only
+// the fields this driver consumes are declared; unknown fields are
+// ignored by encoding/json.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main runs one unitchecker invocation for the cfg file at cfgPath with
+// the given (already flag-selected) analyzers, writing diagnostics to
+// stdout/stderr per the protocol. It returns the process exit code.
+func Main(cfgPath string, analyzers []*analysis.Analyzer, asJSON bool) int {
+	code, err := run(cfgPath, analyzers, asJSON)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hottileslint: %v\n", err)
+		return 1
+	}
+	return code
+}
+
+func run(cfgPath string, analyzers []*analysis.Analyzer, asJSON bool) (int, error) {
+	data, readErr := os.ReadFile(cfgPath)
+	if readErr != nil {
+		return 0, readErr
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, fmt.Errorf("bad config %s: %v", cfgPath, err)
+	}
+	// The go command caches analysis results keyed on the vetx file; it
+	// must exist even though this suite exports no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return 0, err
+		}
+	}
+	if cfg.VetxOnly {
+		return 0, nil
+	}
+	// Like the standalone driver, the suite enforces invariants on shipped
+	// code only: skip external test packages ("pkg_test [pkg.test]") and the
+	// generated test main ("pkg.test"), and drop the *_test.go sources that
+	// `go vet` folds into the base unit — the standalone loader's `go list`
+	// sees GoFiles but not TestGoFiles, and both paths must agree.
+	if strings.Contains(cfg.ImportPath, " [") || strings.HasSuffix(cfg.ImportPath, ".test") {
+		return 0, nil
+	}
+	goFiles := cfg.GoFiles[:0:0]
+	for _, name := range cfg.GoFiles {
+		if !strings.HasSuffix(name, "_test.go") {
+			goFiles = append(goFiles, name)
+		}
+	}
+	if len(goFiles) == 0 {
+		return 0, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range goFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(cfg.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0, nil
+			}
+			return 0, err
+		}
+		files = append(files, f)
+	}
+
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	tconf := types.Config{Importer: imp, Error: func(error) {}}
+	if v := cfg.GoVersion; v != "" && strings.HasPrefix(v, "go") {
+		tconf.GoVersion = v
+	}
+	info := analysis.NewInfo()
+	tpkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("typecheck %s: %v", cfg.ImportPath, err)
+	}
+
+	pkg := &analysis.Package{
+		Path: cfg.ImportPath, Name: tpkg.Name(), Dir: cfg.Dir,
+		Files: files, Fset: fset, Types: tpkg, Info: info,
+	}
+	diags, err := analysis.Run([]*analysis.Package{pkg}, analyzers)
+	if err != nil {
+		return 0, err
+	}
+	if asJSON {
+		// vet -json shape: {"pkg": {"analyzer": [{posn, message}, …]}}.
+		grouped := map[string][]map[string]string{}
+		for _, d := range diags {
+			grouped[d.Analyzer] = append(grouped[d.Analyzer], map[string]string{
+				"posn": d.Posn.String(), "message": d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(map[string]any{cfg.ImportPath: grouped}); err != nil {
+			return 0, err
+		}
+		return 0, nil
+	}
+	if len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", d.Posn, d.Message)
+		}
+		return 2, nil
+	}
+	return 0, nil
+}
+
+// Fingerprint prints the -V=full response: tool name plus a content hash
+// of the executable, so the go command's vet cache invalidates whenever
+// the binary changes (matching what x/tools unitchecker does for non-release
+// builds).
+func Fingerprint(w io.Writer, progname string) error {
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%s version devel comments-go-here buildID=%02x\n", progname, h.Sum(nil))
+	return nil
+}
+
+// FlagsJSON prints the -flags response: the JSON array describing every
+// flag the tool accepts, which cmd/go uses to validate pass-through flags
+// like -shadow.
+func FlagsJSON(w io.Writer, analyzers []*analysis.Analyzer) error {
+	type jsonFlag struct {
+		Name  string `json:"Name"`
+		Bool  bool   `json:"Bool"`
+		Usage string `json:"Usage"`
+	}
+	var flags []jsonFlag
+	for _, a := range analyzers {
+		flags = append(flags, jsonFlag{Name: a.Name, Bool: true, Usage: a.Doc})
+	}
+	flags = append(flags,
+		jsonFlag{Name: "json", Bool: true, Usage: "emit JSON diagnostics"},
+		jsonFlag{Name: "V", Bool: false, Usage: "print version and exit"},
+	)
+	return json.NewEncoder(w).Encode(flags)
+}

@@ -1,0 +1,174 @@
+package unitchecker
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/passes"
+)
+
+// writeCfg marshals a Config for one scratch package unit into dir.
+func writeCfg(t *testing.T, dir string, cfg Config) string {
+	t.Helper()
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "vet.cfg")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// scratchUnit builds a cfg around one source file with no imports (so no
+// export data is needed).
+func scratchUnit(t *testing.T, src string) (Config, string) {
+	t.Helper()
+	dir := t.TempDir()
+	file := filepath.Join(dir, "scratch.go")
+	if err := os.WriteFile(file, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		ID:         "scratch",
+		Compiler:   "gc",
+		Dir:        dir,
+		ImportPath: "scratch",
+		GoFiles:    []string{file},
+		VetxOutput: filepath.Join(dir, "vet.out"),
+	}, dir
+}
+
+// capture runs fn with os.Stdout and os.Stderr redirected to pipes and
+// returns what was written to each.
+func capture(t *testing.T, fn func()) (stdout, stderr string) {
+	t.Helper()
+	oldOut, oldErr := os.Stdout, os.Stderr
+	ro, wo, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, we, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout, os.Stderr = wo, we
+	defer func() { os.Stdout, os.Stderr = oldOut, oldErr }()
+	fn()
+	wo.Close()
+	we.Close()
+	var bufOut, bufErr bytes.Buffer
+	if _, err := bufOut.ReadFrom(ro); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bufErr.ReadFrom(re); err != nil {
+		t.Fatal(err)
+	}
+	return bufOut.String(), bufErr.String()
+}
+
+const nakedSrc = `package scratch
+
+func Leak(fn func()) {
+	go fn()
+}
+`
+
+// TestUnitDiagnostics runs a full unit through the driver: the nakedgo
+// finding must reach stderr, the exit code must be vet's 2, and the .vetx
+// placeholder must exist for the go command's cache.
+func TestUnitDiagnostics(t *testing.T) {
+	cfg, _ := scratchUnit(t, nakedSrc)
+	cfgPath := writeCfg(t, filepath.Dir(cfg.GoFiles[0]), cfg)
+
+	var code int
+	_, stderr := capture(t, func() { code = Main(cfgPath, passes.All(), false) })
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "raw go statement") {
+		t.Errorf("stderr missing nakedgo diagnostic:\n%s", stderr)
+	}
+	if _, err := os.Stat(cfg.VetxOutput); err != nil {
+		t.Errorf("VetxOutput placeholder not written: %v", err)
+	}
+}
+
+// TestUnitJSON checks the -json shape: {"pkg": {"analyzer": [findings]}}
+// on stdout with exit 0 (vet's JSON mode never fails the build itself).
+func TestUnitJSON(t *testing.T) {
+	cfg, _ := scratchUnit(t, nakedSrc)
+	cfgPath := writeCfg(t, filepath.Dir(cfg.GoFiles[0]), cfg)
+
+	var code int
+	stdout, _ := capture(t, func() { code = Main(cfgPath, passes.All(), true) })
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	var out map[string]map[string][]struct{ Posn, Message string }
+	if err := json.Unmarshal([]byte(stdout), &out); err != nil {
+		t.Fatalf("stdout is not the vet JSON shape: %v\n%s", err, stdout)
+	}
+	if n := len(out["scratch"]["nakedgo"]); n != 1 {
+		t.Errorf("got %d nakedgo findings in JSON, want 1: %v", n, out)
+	}
+}
+
+// TestUnitSkips pins the three early-return paths: dependency-only units,
+// test variants, and units whose sources are all *_test.go.
+func TestUnitSkips(t *testing.T) {
+	run := func(name string, mutate func(*Config)) {
+		t.Helper()
+		cfg, _ := scratchUnit(t, nakedSrc)
+		mutate(&cfg)
+		cfgPath := writeCfg(t, filepath.Dir(cfg.GoFiles[0]), cfg)
+		var code int
+		_, stderr := capture(t, func() { code = Main(cfgPath, passes.All(), false) })
+		if code != 0 || stderr != "" {
+			t.Errorf("%s: code=%d stderr=%q, want clean skip", name, code, stderr)
+		}
+	}
+	run("vetxonly", func(c *Config) { c.VetxOnly = true })
+	run("test variant", func(c *Config) { c.ImportPath = "scratch [scratch.test]" })
+	run("test main", func(c *Config) { c.ImportPath = "scratch.test" })
+	run("only test files", func(c *Config) {
+		dst := filepath.Join(filepath.Dir(c.GoFiles[0]), "scratch_test.go")
+		if err := os.Rename(c.GoFiles[0], dst); err != nil {
+			t.Fatal(err)
+		}
+		c.GoFiles = []string{dst}
+	})
+}
+
+// TestFlagsJSONShape ensures every analyzer appears exactly once as a
+// boolean flag next to the driver's own json flag.
+func TestFlagsJSONShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := FlagsJSON(&buf, passes.All()); err != nil {
+		t.Fatal(err)
+	}
+	var flags []struct {
+		Name string
+		Bool bool
+	}
+	if err := json.Unmarshal(buf.Bytes(), &flags); err != nil {
+		t.Fatalf("FlagsJSON output invalid: %v\n%s", err, buf.String())
+	}
+	seen := map[string]int{}
+	for _, f := range flags {
+		seen[f.Name]++
+	}
+	for _, a := range passes.All() {
+		if seen[a.Name] != 1 {
+			t.Errorf("analyzer %q appears %d times in -flags", a.Name, seen[a.Name])
+		}
+	}
+	if seen["json"] != 1 {
+		t.Errorf("json flag appears %d times", seen["json"])
+	}
+}

@@ -154,16 +154,16 @@ func (e *Env) exec(a arch.Arch, b gen.Benchmark, strat string, opsPerMAC float64
 		switch strat {
 		case StratHotOnly:
 			hot := partition.AllHot(g)
-			pred, tot, err := partition.PredictFrom(es, &cfg, hot, false)
-			if err != nil {
-				return nil, err
+			pred, tot, predErr := partition.PredictFrom(es, &cfg, hot, false)
+			if predErr != nil {
+				return nil, predErr
 			}
 			part = partition.Result{Hot: hot, Predicted: pred, Totals: tot}
 		case StratColdOnly:
 			cold := partition.AllCold(g)
-			pred, tot, err := partition.PredictFrom(es, &cfg, cold, false)
-			if err != nil {
-				return nil, err
+			pred, tot, predErr := partition.PredictFrom(es, &cfg, cold, false)
+			if predErr != nil {
+				return nil, predErr
 			}
 			part = partition.Result{Hot: cold, Predicted: pred, Totals: tot}
 		case StratIUnaware:
