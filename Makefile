@@ -16,9 +16,22 @@ COVER_FLOOR     = 60
 # Seconds of coverage-guided fuzzing per fuzzer in `make fuzz`.
 FUZZTIME ?= 10s
 
-.PHONY: ci vet fmtcheck build lint shadow test race bench cover fuzz golden
+.PHONY: help ci vet fmtcheck build lint shadow test race bench benchsmoke cover fuzz golden
 
-ci: vet fmtcheck build lint shadow race cover
+ci: vet fmtcheck build lint shadow race cover benchsmoke
+
+help:
+	@echo "make ci          - full gate: vet, fmtcheck, build, lint, shadow, race, cover, benchsmoke"
+	@echo "make test        - go test ./..."
+	@echo "make race        - go test -race ./..."
+	@echo "make bench       - run the tracked benchmarks (engine, tiler, model, fan-out)"
+	@echo "                   with -benchmem and write BENCH_$(BENCH_PR).json via cmd/benchdiff;"
+	@echo "                   compare baselines with: ./bin/benchdiff old.json new.json"
+	@echo "make benchsmoke  - compile-and-run every benchmark once (catches bit-rot)"
+	@echo "make lint        - hottileslint analyzer suite (DESIGN.md §11)"
+	@echo "make cover       - coverage with per-package floor"
+	@echo "make fuzz        - short coverage-guided fuzz pass (FUZZTIME=$(FUZZTIME))"
+	@echo "make golden      - regenerate pinned experiment outputs (review the diff!)"
 
 vet:
 	$(GO) vet ./...
@@ -58,8 +71,27 @@ test:
 race:
 	$(GO) test -race ./...
 
-bench:
-	$(GO) test -bench=. -benchmem .
+# bench runs the perf-trajectory benchmarks (DESIGN.md §12): the zero-alloc
+# engine and waterfill microbenches, the tiler, the analytical model, the
+# simulator, and the experiment fan-out. Output lands in BENCH_$(BENCH_PR).json
+# (committed as this PR's baseline); diff two baselines with
+# `./bin/benchdiff [-threshold 1.25] BENCH_old.json BENCH_new.json`.
+BENCH_PR ?= 4
+TRACKED_BENCH = BenchmarkExperimentsFanout|BenchmarkTilePartition|BenchmarkModelEstimateGrid|BenchmarkSimulateHeterogeneous|BenchmarkPartitionHotTiles
+
+bin/benchdiff: FORCE
+	@mkdir -p bin
+	$(GO) build -o bin/benchdiff ./cmd/benchdiff
+
+bench: bin/benchdiff
+	{ $(GO) test -run=NONE -bench='BenchmarkEngine|BenchmarkWaterfill' -benchmem ./internal/sim && \
+	  $(GO) test -run=NONE -bench='$(TRACKED_BENCH)' -benchmem . ; } \
+	| tee /dev/stderr | ./bin/benchdiff -emit BENCH_$(BENCH_PR).json
+
+# benchsmoke compiles and runs every benchmark in the module for exactly one
+# iteration — a CI guard against benchmarks that no longer build or crash.
+benchsmoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
 # cover prints a per-package coverage summary and fails when the gated
 # package drops below its floor.

@@ -1,0 +1,235 @@
+// Command benchdiff maintains the repo's benchmark baseline. It has two
+// modes:
+//
+//	go test -bench=... -benchmem ./... | benchdiff -emit BENCH_4.json
+//	benchdiff [-threshold 1.25] BENCH_old.json BENCH_new.json
+//
+// -emit parses `go test -bench` output from stdin into a JSON map of
+// benchmark name to {ns/op, B/op, allocs/op} (the committed BENCH_*.json
+// perf-trajectory points; repeated runs of one benchmark are averaged).
+// Compare mode prints the per-benchmark time ratio between two such files
+// and exits non-zero when any shared benchmark slowed down by more than
+// the threshold factor, or when a zero-allocation benchmark started
+// allocating — the regressions `make bench` is meant to catch.
+package main
+
+import (
+	"bufio"
+	"cmp"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"slices"
+	"strconv"
+	"strings"
+)
+
+// Metrics are the per-benchmark numbers tracked in a baseline file.
+type Metrics struct {
+	NsPerOp     float64 `json:"ns_op"`
+	BytesPerOp  float64 `json:"b_op"`
+	AllocsPerOp float64 `json:"allocs_op"`
+}
+
+// File is the committed BENCH_*.json schema.
+type File struct {
+	Schema     string             `json:"schema"`
+	Benchmarks map[string]Metrics `json:"benchmarks"`
+}
+
+const schema = "hottiles-bench/1"
+
+// benchLine matches one result line of `go test -bench` output:
+// name, iteration count, then value/unit pairs.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+// trimProcs strips the trailing -<GOMAXPROCS> suffix go test appends to
+// benchmark names, so baselines compare across machines.
+func trimProcs(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// parseBench reads `go test -bench` output and averages the recognized
+// metrics per benchmark name.
+func parseBench(r io.Reader) (map[string]Metrics, error) {
+	sums := map[string]*Metrics{}
+	counts := map[string]int{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		name := trimProcs(m[1])
+		fields := strings.Fields(m[3])
+		var cur Metrics
+		seen := false
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchdiff: %s: bad value %q", name, fields[i])
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				cur.NsPerOp = v
+				seen = true
+			case "B/op":
+				cur.BytesPerOp = v
+			case "allocs/op":
+				cur.AllocsPerOp = v
+			}
+		}
+		if !seen {
+			continue
+		}
+		s := sums[name]
+		if s == nil {
+			s = &Metrics{}
+			sums[name] = s
+		}
+		s.NsPerOp += cur.NsPerOp
+		s.BytesPerOp += cur.BytesPerOp
+		s.AllocsPerOp += cur.AllocsPerOp
+		counts[name]++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]Metrics, len(sums))
+	for name, s := range sums {
+		n := float64(counts[name])
+		out[name] = Metrics{
+			NsPerOp:     s.NsPerOp / n,
+			BytesPerOp:  s.BytesPerOp / n,
+			AllocsPerOp: s.AllocsPerOp / n,
+		}
+	}
+	return out, nil
+}
+
+func readFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("benchdiff: %s: %v", path, err)
+	}
+	if f.Benchmarks == nil {
+		return nil, fmt.Errorf("benchdiff: %s: no benchmarks", path)
+	}
+	return &f, nil
+}
+
+// diffLine is one row of a comparison report.
+type diffLine struct {
+	Name       string
+	Old, New   Metrics
+	Ratio      float64 // new/old ns per op
+	Regression bool
+}
+
+// compare pairs the benchmarks present in both files. A row regresses when
+// its time ratio exceeds threshold or when a previously allocation-free
+// benchmark now allocates.
+func compare(old, new map[string]Metrics, threshold float64) []diffLine {
+	var out []diffLine
+	for name, n := range new {
+		o, ok := old[name]
+		if !ok || o.NsPerOp <= 0 {
+			continue
+		}
+		d := diffLine{Name: name, Old: o, New: n, Ratio: n.NsPerOp / o.NsPerOp}
+		d.Regression = d.Ratio > threshold ||
+			(o.AllocsPerOp == 0 && n.AllocsPerOp > 0)
+		out = append(out, d)
+	}
+	slices.SortFunc(out, func(a, b diffLine) int {
+		return cmp.Compare(a.Name, b.Name)
+	})
+	return out
+}
+
+func emit(path string, in io.Reader) error {
+	bs, err := parseBench(in)
+	if err != nil {
+		return err
+	}
+	if len(bs) == 0 {
+		return fmt.Errorf("benchdiff: no benchmark lines on stdin")
+	}
+	data, err := json.MarshalIndent(&File{Schema: schema, Benchmarks: bs}, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchdiff: wrote %d benchmarks to %s\n", len(bs), path)
+	return nil
+}
+
+func run(oldPath, newPath string, threshold float64, w io.Writer) (bool, error) {
+	oldF, err := readFile(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newF, err := readFile(newPath)
+	if err != nil {
+		return false, err
+	}
+	lines := compare(oldF.Benchmarks, newF.Benchmarks, threshold)
+	if len(lines) == 0 {
+		return false, fmt.Errorf("benchdiff: no benchmarks in common")
+	}
+	fmt.Fprintf(w, "%-52s%14s%14s%8s  %s\n", "benchmark", "old ns/op", "new ns/op", "ratio", "allocs")
+	anyRegressed := false
+	for _, d := range lines {
+		flag := ""
+		if d.Regression {
+			flag = "  REGRESSION"
+			anyRegressed = true
+		}
+		fmt.Fprintf(w, "%-52s%14.0f%14.0f%8.2f  %.0f→%.0f%s\n",
+			d.Name, d.Old.NsPerOp, d.New.NsPerOp, d.Ratio,
+			d.Old.AllocsPerOp, d.New.AllocsPerOp, flag)
+	}
+	return anyRegressed, nil
+}
+
+func main() {
+	emitPath := flag.String("emit", "", "parse `go test -bench` output from stdin and write a baseline JSON to this path")
+	threshold := flag.Float64("threshold", 1.25, "fail when new/old ns-per-op exceeds this factor")
+	flag.Parse()
+
+	var err error
+	switch {
+	case *emitPath != "":
+		err = emit(*emitPath, os.Stdin)
+	case flag.NArg() == 2:
+		var regressed bool
+		regressed, err = run(flag.Arg(0), flag.Arg(1), *threshold, os.Stdout)
+		if err == nil && regressed {
+			fmt.Fprintf(os.Stderr, "benchdiff: regression beyond %.2fx threshold\n", *threshold)
+			os.Exit(1)
+		}
+	default:
+		err = fmt.Errorf("usage: benchdiff -emit out.json < bench-output, or benchdiff [-threshold f] old.json new.json")
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro/internal/sim
+cpu: some cpu
+BenchmarkEngine-8   	    1447	    811501 ns/op	     132 B/op	      12 allocs/op
+BenchmarkEngine-8   	    1445	    813499 ns/op	     132 B/op	      12 allocs/op
+BenchmarkWaterfill-8	 4060328	       294.9 ns/op	       0 B/op	       0 allocs/op
+BenchmarkExperimentsFanout/parallel-8	       2	 531170971 ns/op
+PASS
+ok  	repro/internal/sim	12.3s
+`
+
+func TestParseBench(t *testing.T) {
+	bs, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(bs), bs)
+	}
+	eng, ok := bs["BenchmarkEngine"]
+	if !ok {
+		t.Fatalf("missing BenchmarkEngine (procs suffix not stripped?): %v", bs)
+	}
+	if eng.NsPerOp != 812500 { // average of the two runs
+		t.Fatalf("BenchmarkEngine ns/op = %v, want averaged 812500", eng.NsPerOp)
+	}
+	if eng.AllocsPerOp != 12 || eng.BytesPerOp != 132 {
+		t.Fatalf("BenchmarkEngine mem metrics = %+v", eng)
+	}
+	wf := bs["BenchmarkWaterfill"]
+	if wf.NsPerOp != 294.9 || wf.AllocsPerOp != 0 {
+		t.Fatalf("BenchmarkWaterfill = %+v", wf)
+	}
+	fan, ok := bs["BenchmarkExperimentsFanout/parallel"]
+	if !ok || fan.NsPerOp != 531170971 {
+		t.Fatalf("sub-benchmark without -benchmem = %+v ok=%v", fan, ok)
+	}
+}
+
+func TestTrimProcs(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkEngine-8":           "BenchmarkEngine",
+		"BenchmarkEngine":             "BenchmarkEngine",
+		"BenchmarkFanout/parallel-16": "BenchmarkFanout/parallel",
+		"BenchmarkKernels/cache-on-8": "BenchmarkKernels/cache-on",
+		"BenchmarkKernels/cache-on":   "BenchmarkKernels/cache-on",
+		"BenchmarkAblation/512-4":     "BenchmarkAblation/512",
+	} {
+		if got := trimProcs(in); got != want {
+			t.Errorf("trimProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	old := map[string]Metrics{
+		"A": {NsPerOp: 1000, AllocsPerOp: 5},
+		"B": {NsPerOp: 1000, AllocsPerOp: 0},
+		"C": {NsPerOp: 1000},
+		"D": {NsPerOp: 500}, // absent from new: ignored
+	}
+	new := map[string]Metrics{
+		"A": {NsPerOp: 1200, AllocsPerOp: 5}, // within 1.25x: fine
+		"B": {NsPerOp: 900, AllocsPerOp: 3},  // faster but now allocates: regression
+		"C": {NsPerOp: 1500},                 // 1.5x: regression
+		"E": {NsPerOp: 10},                   // new benchmark: ignored
+	}
+	lines := compare(old, new, 1.25)
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3", len(lines))
+	}
+	want := map[string]bool{"A": false, "B": true, "C": true}
+	for _, d := range lines {
+		if d.Regression != want[d.Name] {
+			t.Errorf("%s: regression = %v, want %v (ratio %.2f)", d.Name, d.Regression, want[d.Name], d.Ratio)
+		}
+	}
+	if lines[0].Name != "A" || lines[2].Name != "C" {
+		t.Errorf("lines not sorted by name: %v", lines)
+	}
+}
+
+func TestEmitAndRunRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	if err := emit(oldPath, strings.NewReader(sampleOutput)); err != nil {
+		t.Fatal(err)
+	}
+	faster := strings.ReplaceAll(sampleOutput, "811501 ns/op", "411501 ns/op")
+	faster = strings.ReplaceAll(faster, "813499 ns/op", "413499 ns/op")
+	if err := emit(newPath, strings.NewReader(faster)); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	regressed, err := run(oldPath, newPath, 1.25, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("speedup reported as regression:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "BenchmarkEngine") {
+		t.Fatalf("report missing benchmark rows:\n%s", sb.String())
+	}
+	// Reversed direction must regress.
+	regressed, err = run(newPath, oldPath, 1.25, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatal("2x slowdown not flagged as regression")
+	}
+}
+
+func TestReadFileRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(p, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readFile(p); err == nil {
+		t.Fatal("empty baseline accepted")
+	}
+}

@@ -12,11 +12,12 @@ package main
 
 import (
 	"bytes"
+	"cmp"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"sort"
+	"slices"
 	"strings"
 	"time"
 
@@ -259,13 +260,12 @@ func allNames() []string {
 	for n := range table {
 		names = append(names, n)
 	}
-	sort.Slice(names, func(i, j int) bool {
+	slices.SortFunc(names, func(a, b string) int {
 		// figNN before tabN (numerically), extras last alphabetically.
-		ki, kj := orderKey(names[i]), orderKey(names[j])
-		if ki != kj {
-			return ki < kj
+		if ka, kb := orderKey(a), orderKey(b); ka != kb {
+			return cmp.Compare(ka, kb)
 		}
-		return names[i] < names[j]
+		return strings.Compare(a, b)
 	})
 	return names
 }

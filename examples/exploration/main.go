@@ -8,7 +8,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
-	"sort"
+	"slices"
 
 	hottiles "repro"
 	"repro/internal/gen"
@@ -25,7 +25,7 @@ func main() {
 	for name := range matrices {
 		names = append(names, name)
 	}
-	sort.Strings(names) // map order is random; keep the report stable
+	slices.Sort(names) // map order is random; keep the report stable
 
 	for _, name := range names {
 		m := matrices[name]

@@ -1,11 +1,12 @@
 package analysis
 
 import (
+	"cmp"
 	"encoding/json"
 	"fmt"
 	"go/ast"
 	"io"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -36,18 +37,17 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			}
 		}
 	}
-	sort.Slice(diags, func(i, j int) bool {
-		a, b := diags[i], diags[j]
-		if a.Posn.Filename != b.Posn.Filename {
-			return a.Posn.Filename < b.Posn.Filename
+	slices.SortFunc(diags, func(a, b Diagnostic) int {
+		if c := strings.Compare(a.Posn.Filename, b.Posn.Filename); c != 0 {
+			return c
 		}
 		if a.Posn.Line != b.Posn.Line {
-			return a.Posn.Line < b.Posn.Line
+			return cmp.Compare(a.Posn.Line, b.Posn.Line)
 		}
 		if a.Posn.Column != b.Posn.Column {
-			return a.Posn.Column < b.Posn.Column
+			return cmp.Compare(a.Posn.Column, b.Posn.Column)
 		}
-		return a.Analyzer < b.Analyzer
+		return strings.Compare(a.Analyzer, b.Analyzer)
 	})
 	return diags, nil
 }

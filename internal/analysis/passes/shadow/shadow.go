@@ -19,8 +19,20 @@ import (
 // Analyzer is the shadow pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "shadow",
-	Doc:  "flags inner declarations that shadow a same-typed outer variable still used after the inner scope ends",
+	Doc:  "flags inner declarations that shadow a same-typed outer variable still used after the inner scope ends, and any local that shadows a function-like builtin",
 	Run:  run,
+}
+
+// funcBuiltins are the function-like predeclared identifiers. Declaring a
+// local with one of these names silently disables the builtin for the rest
+// of the scope — any later call through it stops compiling, and the fix
+// tends to be applied at the call site instead of the declaration. min and
+// max are excluded: they read as values and are long-idiomatic variable
+// names.
+var funcBuiltins = map[string]bool{
+	"append": true, "cap": true, "clear": true, "close": true,
+	"copy": true, "delete": true, "len": true, "make": true,
+	"new": true, "panic": true, "recover": true,
 }
 
 func run(pass *analysis.Pass) error {
@@ -38,6 +50,10 @@ func run(pass *analysis.Pass) error {
 		obj := pass.TypesInfo.Defs[id]
 		v, ok := obj.(*types.Var)
 		if !ok || id.Name == "_" || v.IsField() {
+			continue
+		}
+		if funcBuiltins[id.Name] {
+			pass.Reportf(id.Pos(), "declaration of %q shadows the predeclared builtin", id.Name)
 			continue
 		}
 		inner := v.Parent()

@@ -54,3 +54,22 @@ func paramShadow(xs []int) int {
 	}
 	return n
 }
+
+// builtinShadow: locals named after function-like builtins are flagged even
+// with no outer variable to collide with — the builtin itself is the
+// casualty.
+func builtinShadow(budget float64) float64 {
+	cap := budget / 2 // want `declaration of "cap" shadows the predeclared builtin`
+	var len int       // want `declaration of "len" shadows the predeclared builtin`
+	_ = len
+	return cap
+}
+
+// minMaxOK: min and max read as values and stay silent.
+func minMaxOK(a, b int) int {
+	min := a
+	if b < min {
+		min = b
+	}
+	return min
+}

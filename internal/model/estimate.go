@@ -27,30 +27,68 @@ type Params struct {
 	Kernel    Kernel  // zero value is KernelSpMM
 }
 
+// estimator caches the (worker, grid, params) invariants of the per-tile
+// model evaluation. EstimateGrid calls the model once per (tile, worker)
+// pair — the dominant analytical-model cost — so everything derivable from
+// the worker, grid geometry, and params alone is hoisted out of the inner
+// loop. Hoisted expressions are evaluated exactly as the per-tile code did,
+// so estimates stay bit-identical.
+type estimator struct {
+	w        *Worker
+	g        *tile.Grid
+	p        Params
+	rowBytes float64 // p.K * w.ElemBytes
+	lastH    int     // height of the last (possibly short) row panel
+	lastW    int     // width of the last (possibly short) tile column
+}
+
+func newEstimator(w *Worker, g *tile.Grid, p Params) estimator {
+	return estimator{
+		w: w, g: g, p: p,
+		rowBytes: float64(p.K * w.ElemBytes),
+		lastH:    g.N - (g.NumTR-1)*g.TileH,
+		lastW:    g.N - (g.NumTC-1)*g.TileW,
+	}
+}
+
+// panelHeight returns the row count of panel tr (only the last panel can be
+// short, because PanelRows clips at N).
+func (e *estimator) panelHeight(tr int) int {
+	if tr == e.g.NumTR-1 {
+		return e.lastH
+	}
+	return e.g.TileH
+}
+
+// tileWidth returns the column count of tile column tc (only the last
+// column can be short).
+func (e *estimator) tileWidth(tc int) int {
+	if tc == e.g.NumTC-1 {
+		return e.lastW
+	}
+	return e.g.TileW
+}
+
 // taskBytes returns the five tasks' main-memory byte counts for one tile
 // under the worker's reuse configuration (Table I), using the maximum-reuse
 // assumption for inter-tile reuse (charged zero here; see PanelAdjust).
-func taskBytes(w *Worker, t *tile.Tile, g *tile.Grid, p Params) [numTasks]float64 {
+func (e *estimator) taskBytes(t *tile.Tile) [numTasks]float64 {
+	w := e.w
 	var b [numTasks]float64
 	nnz := t.NNZ()
-	lo, hi := g.PanelRows(t.TR)
-	panelH := hi - lo
-	tileW := g.TileW
-	if (t.TC+1)*g.TileW > g.N {
-		tileW = g.N - t.TC*g.TileW
-	}
-	rowBytes := float64(p.K * w.ElemBytes)
+	panelH := e.panelHeight(t.TR)
+	tileW := e.tileWidth(t.TC)
 
 	b[TaskReadA] = float64(SparseBytesAccessed(w.Format, nnz, panelH, w.IdxBytes, w.ElemBytes))
-	b[TaskReadDin] = float64(DenseRowsAccessed(w.DinReuse, tileW, t.UniqCols, nnz)) * rowBytes
+	b[TaskReadDin] = float64(DenseRowsAccessed(w.DinReuse, tileW, t.UniqCols, nnz)) * e.rowBytes
 	doutRows := float64(DenseRowsAccessed(w.DoutReuse, panelH, t.UniqRows, nnz))
-	b[TaskReadDout] = doutRows * rowBytes
-	if p.Kernel == KernelSDDMM {
+	b[TaskReadDout] = doutRows * e.rowBytes
+	if e.p.Kernel == KernelSDDMM {
 		// SDDMM's output is sparse: one scalar per nonzero, no dense rows
 		// written back.
 		b[TaskWriteDout] = float64(nnz * w.ElemBytes)
 	} else {
-		b[TaskWriteDout] = doutRows * rowBytes
+		b[TaskWriteDout] = doutRows * e.rowBytes
 	}
 	b[TaskCompute] = 0
 	return b
@@ -72,19 +110,31 @@ func combine(w *Worker, times [numTasks]float64) float64 {
 	return total
 }
 
+// taskBytes is the single-tile convenience form of estimator.taskBytes.
+func taskBytes(w *Worker, t *tile.Tile, g *tile.Grid, p Params) [numTasks]float64 {
+	e := newEstimator(w, g, p)
+	return e.taskBytes(t)
+}
+
+// estimateTile is EstimateTile with the invariants already hoisted.
+func (e *estimator) estimateTile(t *tile.Tile) Estimate {
+	bytes := e.taskBytes(t)
+	var times [numTasks]float64
+	total := 0.0
+	for task, by := range bytes {
+		times[task] = by * e.w.VisLatPerByte
+		total += by
+	}
+	times[TaskCompute] = e.w.ComputeTime(t.NNZ(), e.p.K, e.p.OpsPerMAC)
+	return Estimate{Time: combine(e.w, times), Bytes: total}
+}
+
 // EstimateTile predicts the execution time and memory traffic of tile t on
 // a single worker of type w (paper §IV-A/B). Bandwidth contention is
 // deliberately ignored; the partitioner accounts for it via the bytes.
 func EstimateTile(w *Worker, t *tile.Tile, g *tile.Grid, p Params) Estimate {
-	bytes := taskBytes(w, t, g, p)
-	var times [numTasks]float64
-	total := 0.0
-	for task, by := range bytes {
-		times[task] = by * w.VisLatPerByte
-		total += by
-	}
-	times[TaskCompute] = w.ComputeTime(t.NNZ(), p.K, p.OpsPerMAC)
-	return Estimate{Time: combine(w, times), Bytes: total}
+	e := newEstimator(w, g, p)
+	return e.estimateTile(t)
 }
 
 // EstimateGrid evaluates EstimateTile for every tile of the grid, returning
@@ -95,8 +145,9 @@ func EstimateGrid(w *Worker, g *tile.Grid, p Params) []Estimate {
 	modelEstimates.Add(int64(len(g.Tiles)))
 	out := make([]Estimate, len(g.Tiles))
 	par.Chunks(len(g.Tiles), func(lo, hi int) {
+		e := newEstimator(w, g, p)
 		for i := lo; i < hi; i++ {
-			out[i] = EstimateTile(w, &g.Tiles[i], g, p)
+			out[i] = e.estimateTile(&g.Tiles[i])
 		}
 	})
 	return out
@@ -115,6 +166,22 @@ func EstimateGrid(w *Worker, g *tile.Grid, p Params) []Estimate {
 //
 // Workers whose Dout reuse is not inter-tile need no adjustment.
 func PanelAdjust(w *Worker, g *tile.Grid, tr int, keep func(i int) bool, p Params) Estimate {
+	var a Adjuster
+	return a.PanelAdjust(w, g, tr, keep, p)
+}
+
+// Adjuster evaluates PanelAdjust across many panels while reusing one
+// row-membership scratch buffer (tile.PanelUniqRowsScratch). The
+// partitioner's readjustment loop visits every panel for every candidate
+// assignment, so the per-panel buffer allocation is on its hot path; a
+// zero-value Adjuster is ready to use and each call is bit-identical to the
+// free function.
+type Adjuster struct {
+	seen []bool
+}
+
+// PanelAdjust is the free function PanelAdjust over the Adjuster's scratch.
+func (a *Adjuster) PanelAdjust(w *Worker, g *tile.Grid, tr int, keep func(i int) bool, p Params) Estimate {
 	if w.DoutReuse != ReuseInter {
 		return Estimate{}
 	}
@@ -137,7 +204,7 @@ func PanelAdjust(w *Worker, g *tile.Grid, tr int, keep func(i int) bool, p Param
 		lo, hi := g.PanelRows(tr)
 		rows = hi - lo
 	} else {
-		rows = g.PanelUniqRows(tr, keep)
+		rows, a.seen = g.PanelUniqRowsScratch(tr, keep, a.seen)
 	}
 	// SpMM read-modify-writes the panel's Dout rows once; SDDMM only reads
 	// its U rows (the sparse output is charged per tile).

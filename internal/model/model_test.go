@@ -156,7 +156,8 @@ func TestEstimateTileOverlapSemantics(t *testing.T) {
 		t.Fatalf("full overlap (%.3e) should be faster than serial (%.3e)", full.Time, serial.Time)
 	}
 	// Full overlap equals the max task; serial equals the sum.
-	b := taskBytes(w, &g.Tiles[1], g, p)
+	est := newEstimator(w, g, p)
+	b := est.taskBytes(&g.Tiles[1])
 	maxT, sumT := 0.0, w.ComputeTime(5, p.K, p.OpsPerMAC)
 	cmp := w.ComputeTime(5, p.K, p.OpsPerMAC)
 	for _, by := range b {

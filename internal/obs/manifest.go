@@ -1,12 +1,14 @@
 package obs
 
 import (
+	"cmp"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
+	"strings"
 	"time"
 )
 
@@ -173,11 +175,11 @@ func (t *Tracer) WriteSummary(w io.Writer) error {
 	for _, e := range agg {
 		rows = append(rows, e)
 	}
-	sort.Slice(rows, func(i, j int) bool {
-		if rows[i].total != rows[j].total {
-			return rows[i].total > rows[j].total
+	slices.SortFunc(rows, func(a, b *byTime) int {
+		if a.total != b.total {
+			return cmp.Compare(b.total, a.total)
 		}
-		return rows[i].name < rows[j].name
+		return strings.Compare(a.name, b.name)
 	})
 
 	fmt.Fprintf(w, "trace %s — total %v\n", m.Name, time.Duration(m.Spans.DurationNS).Round(time.Microsecond))
@@ -197,7 +199,7 @@ func (t *Tracer) WriteSummary(w io.Writer) error {
 			names = append(names, name)
 		}
 	}
-	sort.Strings(names)
+	slices.Sort(names)
 	if len(names) > 0 {
 		fmt.Fprintln(w, "counters:")
 		for _, name := range names {

@@ -1,7 +1,7 @@
 package obs
 
 import (
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 )
@@ -137,6 +137,6 @@ func MetricNames() []string {
 	for name := range registry.gauges {
 		names = append(names, name)
 	}
-	sort.Strings(names)
+	slices.Sort(names)
 	return names
 }

@@ -79,17 +79,17 @@ func (t *Tracer) Finish() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	now := time.Now()
-	var close func(s *Span)
-	close = func(s *Span) {
+	var closeAll func(s *Span)
+	closeAll = func(s *Span) {
 		if !s.ended {
 			s.dur = now.Sub(s.start)
 			s.ended = true
 		}
 		for _, c := range s.children {
-			close(c)
+			closeAll(c)
 		}
 	}
-	close(t.root)
+	closeAll(t.root)
 }
 
 // SetConfig records one run-configuration key (scale, seed, arch, …) for

@@ -1,8 +1,9 @@
 package partition
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/model"
 	"repro/internal/tile"
@@ -111,7 +112,7 @@ func solveSubproblem(g *tile.Grid, cfg *Config, h Heuristic, eh, ec []model.Esti
 		}
 		return eh[i].Time - ec[i].Time
 	}
-	sort.Slice(order, func(a, b int) bool { return diff(order[a]) < diff(order[b]) })
+	slices.SortFunc(order, func(a, b int) int { return cmp.Compare(diff(a), diff(b)) })
 
 	nhw, ncw := float64(cfg.Hot.Count), float64(cfg.Cold.Count)
 

@@ -177,12 +177,14 @@ func evaluateTotals(g *tile.Grid, cfg *Config, hot []bool, eh, ec []model.Estima
 			t.ColdBytes += ec[i].Bytes
 		}
 	}
+	var adj model.Adjuster
+	base := 0
+	keepHot := func(i int) bool { return hot[base+i] }
+	keepCold := func(i int) bool { return !hot[base+i] }
 	for tr := 0; tr < g.NumTR; tr++ {
-		base := g.PanelStart[tr]
-		keepHot := func(i int) bool { return hot[base+i] }
-		keepCold := func(i int) bool { return !hot[base+i] }
-		ah := model.PanelAdjust(cfg.Hot, g, tr, keepHot, cfg.Params)
-		ac := model.PanelAdjust(cfg.Cold, g, tr, keepCold, cfg.Params)
+		base = g.PanelStart[tr]
+		ah := adj.PanelAdjust(cfg.Hot, g, tr, keepHot, cfg.Params)
+		ac := adj.PanelAdjust(cfg.Cold, g, tr, keepCold, cfg.Params)
 		t.HotTime += ah.Time
 		t.HotBytes += ah.Bytes
 		t.ColdTime += ac.Time

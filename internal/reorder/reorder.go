@@ -18,9 +18,10 @@
 package reorder
 
 import (
+	"cmp"
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"repro/internal/sparse"
 )
@@ -82,7 +83,7 @@ func DegreeSort(m *sparse.COO) Permutation {
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool { return deg[order[a]] > deg[order[b]] })
+	slices.SortStableFunc(order, func(a, b int) int { return cmp.Compare(deg[b], deg[a]) })
 	p := make(Permutation, m.N)
 	for newID, oldID := range order {
 		p[oldID] = int32(newID)
@@ -107,7 +108,7 @@ func BFSCluster(m *sparse.COO) Permutation {
 	for i := range seeds {
 		seeds[i] = i
 	}
-	sort.SliceStable(seeds, func(a, b int) bool { return deg[seeds[a]] < deg[seeds[b]] })
+	slices.SortStableFunc(seeds, func(a, b int) int { return cmp.Compare(deg[a], deg[b]) })
 
 	p := make(Permutation, m.N)
 	visited := make([]bool, m.N)

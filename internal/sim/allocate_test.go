@@ -5,9 +5,19 @@ import (
 	"testing"
 )
 
-// claimingWorker returns a workerState demanding bytes on pool pi, worker w.
-func claimingWorker(pi, w int, bytes float64) *workerState {
-	return &workerState{pool: pi, idx: w, unitIdx: 0, remB: bytes}
+// claimEngine builds an engine whose workers each demand the given bytes
+// (one single-phase unit per worker) and runs one allocation round.
+func claimEngine(t *testing.T, p *pool, bytes []float64, totalBW float64) *engine {
+	t.Helper()
+	for _, b := range bytes {
+		p.units = append(p.units, unit{phases: []phase{{bytes: b}}})
+	}
+	e, err := newEngine([]*pool{p}, totalBW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.allocate()
+	return e
 }
 
 func TestAllocateLinkSlackRedistributed(t *testing.T) {
@@ -22,10 +32,9 @@ func TestAllocateLinkSlackRedistributed(t *testing.T) {
 		workerBW:    []float64{10e9, 200e9},
 		linkBW:      100e9,
 	}
-	ws := []*workerState{claimingWorker(0, 0, 1e9), claimingWorker(0, 1, 1e9)}
-	allocate(ws, []*pool{p}, 1e12)
-	if math.Abs(ws[0].grant-10e9) > 1 || math.Abs(ws[1].grant-90e9) > 1 {
-		t.Fatalf("grants = %g, %g; want 10e9, 90e9", ws[0].grant, ws[1].grant)
+	e := claimEngine(t, p, []float64{1e9, 1e9}, 1e12)
+	if math.Abs(e.workers[0].grant-10e9) > 1 || math.Abs(e.workers[1].grant-90e9) > 1 {
+		t.Fatalf("grants = %g, %g; want 10e9, 90e9", e.workers[0].grant, e.workers[1].grant)
 	}
 }
 
@@ -33,11 +42,10 @@ func TestAllocateUniformLinkCapPreserved(t *testing.T) {
 	// Identical workers behind a saturated link still split it evenly, and
 	// the share must be exactly linkBW/count (the pre-waterfill behavior).
 	p := &pool{name: "pcie", workers: 2, perWorkerBW: 50e9, linkBW: 10e9}
-	ws := []*workerState{claimingWorker(0, 0, 1e9), claimingWorker(0, 1, 1e9)}
-	allocate(ws, []*pool{p}, 100e9)
+	e := claimEngine(t, p, []float64{1e9, 1e9}, 100e9)
 	want := p.linkBW / 2
-	if ws[0].grant != want || ws[1].grant != want {
-		t.Fatalf("grants = %g, %g; want exactly %g each", ws[0].grant, ws[1].grant, want)
+	if e.workers[0].grant != want || e.workers[1].grant != want {
+		t.Fatalf("grants = %g, %g; want exactly %g each", e.workers[0].grant, e.workers[1].grant, want)
 	}
 }
 

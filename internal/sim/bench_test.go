@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// benchEnginePools builds a deterministic synthetic workload shaped like a
+// real heterogeneous run: a large cold pool of bandwidth-hungry row chunks
+// and a small hot pool of two-phase tile units. Sizes are chosen so the
+// event loop takes thousands of steps — enough for the steady-state step
+// cost (allocation behavior included) to dominate setup.
+func benchEnginePools() []*pool {
+	// Tiny deterministic LCG; the engine benchmark must not depend on
+	// math/rand's global state or version-specific stream.
+	seed := uint64(0x9E3779B97F4A7C15)
+	next := func() float64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return float64(seed>>11) / float64(1<<53)
+	}
+	cold := &pool{name: "cold", workers: 16, perWorkerBW: 12e9}
+	for i := 0; i < 1024; i++ {
+		cold.units = append(cold.units, unit{
+			phases: []phase{{compute: 0.5e-6 + next()*2e-6, bytes: 0.2e6 + next()*1.0e6}},
+			flops:  1e6,
+		})
+	}
+	hot := &pool{name: "hot", workers: 4, perWorkerBW: 60e9, linkBW: 120e9}
+	for i := 0; i < 256; i++ {
+		hot.units = append(hot.units, unit{
+			phases: []phase{
+				{compute: 1e-6 + next()*4e-6, bytes: 0.5e6 + next()*2.5e6},
+				{bytes: 0.1e6 + next()*0.4e6},
+			},
+			flops: 4e6,
+		})
+	}
+	return []*pool{cold, hot}
+}
+
+// BenchmarkEngine is the engine-dominated microbenchmark BENCH_*.json
+// tracks: one full event-loop run over the synthetic heterogeneous
+// workload, bandwidth-saturated so every step exercises allocation.
+func BenchmarkEngine(b *testing.B) {
+	pools := benchEnginePools()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := runEngine(pools, 150e9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineComputeBound drives the same workload with abundant
+// bandwidth: most steps complete compute counters without changing the
+// demanding set, the case the grant-invalidation fast path targets.
+func BenchmarkEngineComputeBound(b *testing.B) {
+	pools := benchEnginePools()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := runEngine(pools, 4e12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWaterfill pins the cost of one max-min allocation round over a
+// mixed claimant set.
+func BenchmarkWaterfill(b *testing.B) {
+	caps := make([]float64, 64)
+	for i := range caps {
+		caps[i] = float64(1+i%7) * 1e9
+	}
+	e := &engine{unsat: make([]int32, len(caps))}
+	grants := make([]float64, len(caps))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.waterfill(caps, grants, 100e9)
+	}
+	if math.IsNaN(grants[0]) {
+		b.Fatal("unexpected NaN")
+	}
+}

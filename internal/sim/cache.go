@@ -17,6 +17,15 @@ type cache struct {
 	sets     int
 	ways     int
 	lineSize int
+	// Fast-geometry fields: when the line size (resp. set count) is a power
+	// of two — the overwhelmingly common configuration — address-to-line
+	// and line-to-set mapping use a shift (resp. mask) instead of integer
+	// division, which sits on the cold-pool construction hot path (one
+	// probe per nonzero per dense row line). The mapping is identical to
+	// the division it replaces.
+	lineShift int // log2(lineSize); -1 when lineSize is not a power of two
+	setMask   uint64
+	setPow2   bool
 	// tags[set*ways+way] holds the line address + 1 (0 = invalid).
 	tags []uint64
 	// lru[set*ways+way] is the last-use stamp.
@@ -36,20 +45,44 @@ func newCache(capacityBytes, lineSize int) *cache {
 	if sets < 1 {
 		sets = 1
 	}
-	return &cache{
-		sets:     sets,
-		ways:     ways,
-		lineSize: lineSize,
-		tags:     make([]uint64, sets*ways),
-		lru:      make([]uint64, sets*ways),
+	c := &cache{
+		sets:      sets,
+		ways:      ways,
+		lineSize:  lineSize,
+		lineShift: -1,
+		tags:      make([]uint64, sets*ways),
+		lru:       make([]uint64, sets*ways),
 	}
+	if lineSize&(lineSize-1) == 0 {
+		for s := lineSize; s > 1; s >>= 1 {
+			c.lineShift++
+		}
+		c.lineShift++
+	}
+	if sets&(sets-1) == 0 {
+		c.setMask = uint64(sets - 1)
+		c.setPow2 = true
+	}
+	return c
 }
 
-// access touches the line containing byte address addr and reports whether
-// it hit.
-func (c *cache) access(addr uint64) bool {
-	line := addr / uint64(c.lineSize)
-	set := int(line % uint64(c.sets))
+// lineOf maps a byte address to its line number.
+func (c *cache) lineOf(addr uint64) uint64 {
+	if c.lineShift >= 0 {
+		return addr >> uint(c.lineShift)
+	}
+	return addr / uint64(c.lineSize)
+}
+
+// accessLine touches line (a line number, not a byte address) and reports
+// whether it hit.
+func (c *cache) accessLine(line uint64) bool {
+	var set int
+	if c.setPow2 {
+		set = int(line & c.setMask)
+	} else {
+		set = int(line % uint64(c.sets))
+	}
 	base := set * c.ways
 	c.clock++
 	tag := line + 1
@@ -70,6 +103,12 @@ func (c *cache) access(addr uint64) bool {
 	return false
 }
 
+// access touches the line containing byte address addr and reports whether
+// it hit.
+func (c *cache) access(addr uint64) bool {
+	return c.accessLine(c.lineOf(addr))
+}
+
 // accessRange touches every line of [addr, addr+n) and returns the number
 // of bytes that missed (whole missing lines).
 func (c *cache) accessRange(addr uint64, n int) int {
@@ -77,10 +116,10 @@ func (c *cache) accessRange(addr uint64, n int) int {
 		return n
 	}
 	missed := 0
-	first := addr / uint64(c.lineSize)
-	last := (addr + uint64(n) - 1) / uint64(c.lineSize)
+	first := c.lineOf(addr)
+	last := c.lineOf(addr + uint64(n) - 1)
 	for line := first; line <= last; line++ {
-		if !c.access(line * uint64(c.lineSize)) {
+		if !c.accessLine(line) {
 			missed += c.lineSize
 		}
 	}
@@ -101,15 +140,13 @@ func missThrough(private, shared *cache, addr uint64, n int) int {
 		return shared.accessRange(addr, n)
 	}
 	missed := 0
-	ls := uint64(private.lineSize)
-	first := addr / ls
-	last := (addr + uint64(n) - 1) / ls
+	first := private.lineOf(addr)
+	last := private.lineOf(addr + uint64(n) - 1)
 	for line := first; line <= last; line++ {
-		la := line * ls
-		if private.access(la) {
+		if private.accessLine(line) {
 			continue
 		}
-		if !shared.access(la) {
+		if !shared.access(line * uint64(private.lineSize)) {
 			missed += private.lineSize
 		}
 	}

@@ -73,6 +73,109 @@ type workerState struct {
 
 const timeEps = 1e-15
 
+// engine is one event-loop execution over a set of pools. All state the
+// loop touches — worker records, the active list, and the allocation
+// scratch — is sized once at construction so a steady-state step performs
+// zero heap allocations (pinned by TestEngineStepAllocs). Results are
+// bit-identical to the straightforward re-evaluate-everything loop: the
+// only shortcuts taken are (a) idle workers leave the active list and are
+// never rescanned, and (b) bandwidth grants are recomputed only when the
+// demanding set could have changed (see allocValid).
+type engine struct {
+	pools   []*pool
+	totalBW float64
+
+	workers []workerState // all workers, pool-major (ascending pool, idx)
+	active  []int32       // indices into workers with a unit, ascending
+	next    []int         // next unit index per pool
+	stats   []poolStats
+	now     float64
+	steps   int64
+
+	// allocValid reports that the grants computed by the previous allocate
+	// are still exact. Grants are a pure function of the demanding set
+	// {(worker, cap)} — per-worker caps are constant for the whole run — so
+	// they only change when a worker enters the set (a new phase or unit
+	// with outstanding bytes) or leaves it (remB reaching zero, or going
+	// idle). The advance loop clears the flag on every such transition and
+	// the next step falls back to the exact computation; steps that only
+	// drain compute counters skip the reallocation entirely.
+	allocValid bool
+
+	// naiveAlloc forces allocateNaive on every step (no scratch reuse, no
+	// grant-invalidation skip). Only the property tests set it: they run
+	// whole simulations both ways and require bit-identical outcomes.
+	naiveAlloc bool
+
+	// Allocation scratch, reused every round. Claimants are gathered in
+	// ascending worker order, so each pool's claimants form one contiguous
+	// range of claimIdx/claimCap — per-pool link caps are applied to that
+	// range in place.
+	claimIdx  []int32   // worker index per claimant
+	claimCap  []float64 // per-claimant peak, overwritten by link-fair shares
+	grants    []float64 // waterfill output
+	unsat     []int32   // waterfill worklist
+	poolFrom  []int32   // first claimant index per pool this round
+	poolCount []int32   // claimants per pool this round
+	demand    []float64 // aggregate demand per pool this round
+}
+
+// newEngine validates the pools and builds a ready-to-step engine with all
+// scratch sized for the run.
+func newEngine(pools []*pool, totalBW float64) (*engine, error) {
+	if totalBW <= 0 {
+		return nil, fmt.Errorf("sim: non-positive bandwidth")
+	}
+	total := 0
+	for _, p := range pools {
+		if p.workers < 0 {
+			return nil, fmt.Errorf("sim: pool %s has negative workers", p.name)
+		}
+		if len(p.units) > 0 && p.workers == 0 {
+			return nil, fmt.Errorf("sim: pool %s has units but no workers", p.name)
+		}
+		total += p.workers
+	}
+	e := &engine{
+		pools:     pools,
+		totalBW:   totalBW,
+		workers:   make([]workerState, 0, total),
+		active:    make([]int32, 0, total),
+		next:      make([]int, len(pools)),
+		stats:     make([]poolStats, len(pools)),
+		claimIdx:  make([]int32, total),
+		claimCap:  make([]float64, total),
+		grants:    make([]float64, total),
+		unsat:     make([]int32, total),
+		poolFrom:  make([]int32, len(pools)),
+		poolCount: make([]int32, len(pools)),
+		demand:    make([]float64, len(pools)),
+	}
+	for pi, p := range pools {
+		for w := 0; w < p.workers; w++ {
+			e.workers = append(e.workers, workerState{pool: pi, idx: w, unitIdx: -1})
+		}
+		for _, u := range p.units {
+			e.stats[pi].Flops += u.flops
+		}
+	}
+	// Initial dispatch: hand every worker its first unit. From here on
+	// workers fetch follow-up units inline at completion, so the active
+	// list only ever shrinks.
+	for wi := range e.workers {
+		w := &e.workers[wi]
+		p := pools[w.pool]
+		if e.next[w.pool] < len(p.units) {
+			w.unitIdx = e.next[w.pool]
+			e.next[w.pool]++
+			ph := p.units[w.unitIdx].phases[0]
+			w.remC, w.remB = ph.compute, ph.bytes
+			e.active = append(e.active, int32(wi))
+		}
+	}
+	return e, nil
+}
+
 // runEngine simulates the pools sharing totalBW of memory bandwidth and
 // returns the makespan plus per-pool statistics.
 func runEngine(pools []*pool, totalBW float64) (float64, []poolStats, error) {
@@ -81,128 +184,117 @@ func runEngine(pools []*pool, totalBW float64) (float64, []poolStats, error) {
 
 // runEngineTraced is runEngine with an optional bandwidth-timeline tracer.
 func runEngineTraced(pools []*pool, totalBW float64, tr *tracer) (float64, []poolStats, error) {
-	if totalBW <= 0 {
-		return 0, nil, fmt.Errorf("sim: non-positive bandwidth")
+	e, err := newEngine(pools, totalBW)
+	if err != nil {
+		return 0, nil, err
 	}
 	engineRuns.Inc()
 	for _, p := range pools {
 		engineUnits.Add(int64(len(p.units)))
 	}
-	steps := int64(0)
-	defer func() { engineSteps.Add(steps) }()
-	stats := make([]poolStats, len(pools))
-	var workers []*workerState
-	next := make([]int, len(pools)) // next unit index per pool
-	for pi, p := range pools {
-		if p.workers < 0 {
-			return 0, nil, fmt.Errorf("sim: pool %s has negative workers", p.name)
-		}
-		for w := 0; w < p.workers; w++ {
-			workers = append(workers, &workerState{pool: pi, idx: w, unitIdx: -1})
-		}
-		for _, u := range p.units {
-			stats[pi].Flops += u.flops
-		}
-		if len(p.units) > 0 && p.workers == 0 {
-			return 0, nil, fmt.Errorf("sim: pool %s has units but no workers", p.name)
-		}
+	defer func() { engineSteps.Add(e.steps) }()
+	for e.step(tr) {
+	}
+	return e.now, e.stats, nil
+}
+
+// step advances the simulation to the next counter completion. It reports
+// false once every pool has drained.
+func (e *engine) step(tr *tracer) bool {
+	if len(e.active) == 0 {
+		return false
+	}
+	if e.naiveAlloc {
+		allocateNaive(e.workers, e.pools, e.totalBW)
+	} else if !e.allocValid {
+		e.allocate()
+		e.allocValid = true
 	}
 
-	now := 0.0
-	for {
-		// Dispatch idle workers.
-		active := 0
-		for _, w := range workers {
-			if w.unitIdx < 0 {
-				p := pools[w.pool]
-				if next[w.pool] < len(p.units) {
-					w.unitIdx = next[w.pool]
-					next[w.pool]++
-					w.phaseIdx = 0
-					ph := p.units[w.unitIdx].phases[0]
-					w.remC, w.remB = ph.compute, ph.bytes
-				}
-			}
-			if w.unitIdx >= 0 {
-				active++
-			}
+	// Earliest next counter completion among the active workers.
+	dt := math.Inf(1)
+	for _, wi := range e.active {
+		w := &e.workers[wi]
+		if w.remC > 0 && w.remC < dt {
+			dt = w.remC
 		}
-		if active == 0 {
-			break
-		}
-
-		allocate(workers, pools, totalBW)
-
-		// Earliest next counter completion.
-		dt := math.Inf(1)
-		for _, w := range workers {
-			if w.unitIdx < 0 {
-				continue
-			}
-			if w.remC > 0 && w.remC < dt {
-				dt = w.remC
-			}
-			if w.remB > 0 && w.grant > 0 {
-				if t := w.remB / w.grant; t < dt {
-					dt = t
-				}
-			}
-		}
-		if math.IsInf(dt, 1) {
-			// Only zero-remaining counters: resolve completions below with
-			// dt = 0.
-			dt = 0
-		}
-		tr.record(now, dt, workers, len(pools))
-
-		steps++
-		now += dt
-		for _, w := range workers {
-			if w.unitIdx < 0 {
-				continue
-			}
-			if w.remC > 0 {
-				w.remC -= dt
-				if w.remC < timeEps {
-					w.remC = 0
-				}
-			}
-			if w.remB > 0 && w.grant > 0 {
-				moved := w.grant * dt
-				if moved > w.remB {
-					moved = w.remB
-				}
-				stats[w.pool].Bytes += moved
-				w.remB -= moved
-				if w.remB < timeEps*w.grant || w.remB < 1e-9 {
-					w.remB = 0
-				}
-			}
-			// Phase / unit completion.
-			for w.unitIdx >= 0 && w.remC == 0 && w.remB == 0 {
-				p := pools[w.pool]
-				u := &p.units[w.unitIdx]
-				w.phaseIdx++
-				if w.phaseIdx < len(u.phases) {
-					ph := u.phases[w.phaseIdx]
-					w.remC, w.remB = ph.compute, ph.bytes
-					continue
-				}
-				// Unit drained; record pool progress and fetch the next one.
-				stats[w.pool].Elapsed = now
-				if next[w.pool] < len(p.units) {
-					w.unitIdx = next[w.pool]
-					next[w.pool]++
-					w.phaseIdx = 0
-					first := p.units[w.unitIdx].phases[0]
-					w.remC, w.remB = first.compute, first.bytes
-				} else {
-					w.unitIdx = -1
-				}
+		if w.remB > 0 && w.grant > 0 {
+			if t := w.remB / w.grant; t < dt {
+				dt = t
 			}
 		}
 	}
-	return now, stats, nil
+	if math.IsInf(dt, 1) {
+		// Only zero-remaining counters: resolve completions below with
+		// dt = 0.
+		dt = 0
+	}
+	tr.record(e.now, dt, e)
+
+	e.steps++
+	e.now += dt
+	idled := false
+	for _, wi := range e.active {
+		w := &e.workers[wi]
+		if w.remC > 0 {
+			w.remC -= dt
+			if w.remC < timeEps {
+				w.remC = 0
+			}
+		}
+		if w.remB > 0 && w.grant > 0 {
+			moved := w.grant * dt
+			if moved > w.remB {
+				moved = w.remB
+			}
+			e.stats[w.pool].Bytes += moved
+			w.remB -= moved
+			if w.remB < timeEps*w.grant || w.remB < 1e-9 {
+				w.remB = 0
+				e.allocValid = false
+			}
+		}
+		// Phase / unit completion.
+		for w.unitIdx >= 0 && w.remC == 0 && w.remB == 0 {
+			e.allocValid = false
+			p := e.pools[w.pool]
+			u := &p.units[w.unitIdx]
+			w.phaseIdx++
+			if w.phaseIdx < len(u.phases) {
+				ph := u.phases[w.phaseIdx]
+				w.remC, w.remB = ph.compute, ph.bytes
+				continue
+			}
+			// Unit drained; record pool progress and fetch the next one.
+			e.stats[w.pool].Elapsed = e.now
+			if e.next[w.pool] < len(p.units) {
+				w.unitIdx = e.next[w.pool]
+				e.next[w.pool]++
+				w.phaseIdx = 0
+				first := p.units[w.unitIdx].phases[0]
+				w.remC, w.remB = first.compute, first.bytes
+			} else {
+				w.unitIdx = -1
+				w.grant = 0
+				idled = true
+			}
+		}
+	}
+	if idled {
+		// Order-preserving compaction keeps the active list ascending, so
+		// every later iteration order (and with it every floating-point
+		// accumulation order) matches the full-scan loop bit for bit. A
+		// worker idles at most once per run, so the O(active) sweep is
+		// amortized free.
+		keep := e.active[:0]
+		for _, wi := range e.active {
+			if e.workers[wi].unitIdx >= 0 {
+				keep = append(keep, wi)
+			}
+		}
+		e.active = keep
+	}
+	return true
 }
 
 // allocate grants memory bandwidth max-min fairly: every worker with
@@ -212,57 +304,141 @@ func runEngineTraced(pools []*pool, totalBW float64, tr *tracer) (float64, []poo
 // pool: a worker demanding less than its even share of the link leaves its
 // slack to the pool's other workers rather than stranding it, so a pool
 // with mixed-speed members can still saturate its link.
-func allocate(workers []*workerState, pools []*pool, totalBW float64) {
-	type claimant struct {
-		w   *workerState
-		cap float64
+//
+// allocateNaive is the executable specification; this version computes the
+// same grants (pinned bit-identically by TestAllocateMatchesNaive and the
+// engine property test) without allocating, over the scratch sized at
+// engine construction.
+func (e *engine) allocate() {
+	for pi := range e.pools {
+		e.poolCount[pi] = 0
+		e.demand[pi] = 0
 	}
-	var cs []claimant
-	byPool := make([][]int, len(pools)) // claimant indices per pool
-	demand := make([]float64, len(pools))
-	for _, w := range workers {
-		w.grant = 0
-		if w.unitIdx < 0 || w.remB <= 0 {
+	nc := 0
+	for _, wi := range e.active {
+		w := &e.workers[wi]
+		if w.remB <= 0 {
+			w.grant = 0
 			continue
 		}
-		cap := pools[w.pool].workerCap(w.idx)
-		demand[w.pool] += cap
-		byPool[w.pool] = append(byPool[w.pool], len(cs))
-		cs = append(cs, claimant{w, cap})
+		wcap := e.pools[w.pool].workerCap(w.idx)
+		if e.poolCount[w.pool] == 0 {
+			e.poolFrom[w.pool] = int32(nc)
+		}
+		e.poolCount[w.pool]++
+		e.demand[w.pool] += wcap
+		e.claimIdx[nc] = wi
+		e.claimCap[nc] = wcap
+		nc++
 	}
-	if len(cs) == 0 {
+	if nc == 0 {
 		return
 	}
 	// Enforce per-pool link caps: when a pool's aggregate demand exceeds
 	// its link, replace the member caps with their max-min fair shares of
-	// the link.
+	// the link. Claimants were gathered in ascending worker order, so each
+	// pool's members are the contiguous range [poolFrom, poolFrom+poolCount).
+	for pi, p := range e.pools {
+		if p.linkBW <= 0 || e.poolCount[pi] == 0 || e.demand[pi] <= p.linkBW {
+			continue
+		}
+		lo, hi := e.poolFrom[pi], e.poolFrom[pi]+e.poolCount[pi]
+		e.waterfill(e.claimCap[lo:hi], e.grants[lo:hi], p.linkBW)
+		copy(e.claimCap[lo:hi], e.grants[lo:hi])
+	}
+	// Max-min waterfill against the shared memory bandwidth.
+	e.waterfill(e.claimCap[:nc], e.grants[:nc], e.totalBW)
+	for ci := 0; ci < nc; ci++ {
+		e.workers[e.claimIdx[ci]].grant = e.grants[ci]
+	}
+}
+
+// waterfill distributes budget across caps max-min fairly into grants
+// (len(grants) == len(caps)): demands below the current even share are
+// fully granted, and their slack is re-split among the rest until nobody
+// saturates, at which point the remainder is divided evenly. The written
+// grants sum to min(budget, sum(caps)). The worklist lives in e.unsat.
+func (e *engine) waterfill(caps, grants []float64, budget float64) {
+	unsat := e.unsat[:len(caps)]
+	for i := range grants {
+		grants[i] = 0
+		unsat[i] = int32(i)
+	}
+	remaining := budget
+	for len(unsat) > 0 && remaining > 0 {
+		share := remaining / float64(len(unsat))
+		still := unsat[:0]
+		progressed := false
+		for _, i := range unsat {
+			if need := caps[i] - grants[i]; need <= share {
+				grants[i] = caps[i]
+				remaining -= need
+				progressed = true
+			} else {
+				still = append(still, i)
+			}
+		}
+		if !progressed {
+			// Nobody saturated: split what remains evenly and stop.
+			for _, i := range still {
+				grants[i] += share
+			}
+			break
+		}
+		unsat = still
+	}
+}
+
+// allocateNaive is the original allocation routine, kept verbatim as the
+// executable specification the scratch-based allocate is verified against:
+// the engine property test runs whole simulations under both and asserts
+// bit-identical makespans, statistics, and per-step grants.
+func allocateNaive(workers []workerState, pools []*pool, totalBW float64) {
+	type claimant struct {
+		w  *workerState
+		bw float64
+	}
+	var cs []claimant
+	byPool := make([][]int, len(pools)) // claimant indices per pool
+	demand := make([]float64, len(pools))
+	for wi := range workers {
+		w := &workers[wi]
+		w.grant = 0
+		if w.unitIdx < 0 || w.remB <= 0 {
+			continue
+		}
+		wcap := pools[w.pool].workerCap(w.idx)
+		demand[w.pool] += wcap
+		byPool[w.pool] = append(byPool[w.pool], len(cs))
+		cs = append(cs, claimant{w, wcap})
+	}
+	if len(cs) == 0 {
+		return
+	}
 	for pi, p := range pools {
 		if p.linkBW <= 0 || demand[pi] <= p.linkBW || len(byPool[pi]) == 0 {
 			continue
 		}
 		caps := make([]float64, len(byPool[pi]))
 		for j, ci := range byPool[pi] {
-			caps[j] = cs[ci].cap
+			caps[j] = cs[ci].bw
 		}
-		for j, g := range waterfill(caps, p.linkBW) {
-			cs[byPool[pi][j]].cap = g
+		for j, g := range waterfillNaive(caps, p.linkBW) {
+			cs[byPool[pi][j]].bw = g
 		}
 	}
-	// Max-min waterfill against the shared memory bandwidth.
 	caps := make([]float64, len(cs))
 	for i, c := range cs {
-		caps[i] = c.cap
+		caps[i] = c.bw
 	}
-	for i, g := range waterfill(caps, totalBW) {
+	for i, g := range waterfillNaive(caps, totalBW) {
 		cs[i].w.grant = g
 	}
 }
 
-// waterfill distributes budget across demands max-min fairly: demands below
-// the current even share are fully granted, and their slack is re-split
-// among the rest until nobody saturates, at which point the remainder is
-// divided evenly. The returned grants sum to min(budget, sum(caps)).
-func waterfill(caps []float64, budget float64) []float64 {
+// waterfillNaive is the allocating reference waterfill backing
+// allocateNaive.
+func waterfillNaive(caps []float64, budget float64) []float64 {
 	grants := make([]float64, len(caps))
 	unsat := make([]int, len(caps))
 	for i := range unsat {
@@ -283,7 +459,6 @@ func waterfill(caps []float64, budget float64) []float64 {
 			}
 		}
 		if !progressed {
-			// Nobody saturated: split what remains evenly and stop.
 			for _, i := range still {
 				grants[i] += share
 			}

@@ -15,14 +15,15 @@ type tracer struct {
 	points []TracePoint
 }
 
-// record appends one interval sample with the current grants.
-func (tr *tracer) record(t, dt float64, workers []*workerState, npools int) {
+// record appends one interval sample with the engine's current grants.
+func (tr *tracer) record(t, dt float64, e *engine) {
 	if tr == nil || dt <= 0 {
 		return
 	}
-	p := TracePoint{T: t, Dt: dt, PoolBW: make([]float64, npools)}
-	for _, w := range workers {
-		if w.unitIdx >= 0 && w.remB > 0 {
+	p := TracePoint{T: t, Dt: dt, PoolBW: make([]float64, len(e.pools))}
+	for _, wi := range e.active {
+		w := &e.workers[wi]
+		if w.remB > 0 {
 			p.BW += w.grant
 			p.PoolBW[w.pool] += w.grant
 		}

@@ -2,7 +2,7 @@ package sim
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/arch"
 	"repro/internal/model"
@@ -127,24 +127,29 @@ func buildColdPool(g *tile.Grid, hot []bool, a *arch.Arch, prm model.Params) *po
 	p := newPool(w)
 	rowBytes := prm.K * w.ElemBytes
 
-	// Gather the cold nonzeros in row-major order.
-	type nz struct{ r, c int32 }
-	var nzs []nz
+	// Gather the cold nonzeros in row-major order. Coordinates are packed
+	// into one uint64 key per nonzero (row in the high word) so the sort
+	// runs over machine words with an inlined comparison instead of a
+	// reflective sort.Slice; key order equals (r, c) order and ties are
+	// identical keys, so the resulting sequence matches the old comparator
+	// exactly.
+	coldNNZ := 0
+	for i := range g.Tiles {
+		if !hot[i] {
+			coldNNZ += g.Tiles[i].NNZ()
+		}
+	}
+	nzs := make([]uint64, 0, coldNNZ)
 	for i := range g.Tiles {
 		if hot[i] {
 			continue
 		}
 		rows, cols, _ := g.TileNonzeros(i)
 		for j := range rows {
-			nzs = append(nzs, nz{rows[j], cols[j]})
+			nzs = append(nzs, uint64(rows[j])<<32|uint64(uint32(cols[j])))
 		}
 	}
-	sort.Slice(nzs, func(i, j int) bool {
-		if nzs[i].r != nzs[j].r {
-			return nzs[i].r < nzs[j].r
-		}
-		return nzs[i].c < nzs[j].c
-	})
+	slices.Sort(nzs)
 	if len(nzs) == 0 {
 		return p
 	}
@@ -162,17 +167,19 @@ func buildColdPool(g *tile.Grid, hot []bool, a *arch.Arch, prm model.Params) *po
 	}
 	shared := newCache(a.SharedL2Bytes, a.ColdCacheLine)
 
+	nzRow := func(k uint64) int32 { return int32(k >> 32) }
+	nzCol := func(k uint64) int32 { return int32(uint32(k)) }
 	start := 0
 	chunkIdx := 0
 	for start < len(nzs) {
-		chunkBase := int(nzs[start].r) / chunkRows
+		chunkBase := int(nzRow(nzs[start])) / chunkRows
 		end := start
 		rowsInChunk := 0
 		lastRow := int32(-1)
-		for end < len(nzs) && int(nzs[end].r)/chunkRows == chunkBase {
-			if nzs[end].r != lastRow {
+		for end < len(nzs) && int(nzRow(nzs[end]))/chunkRows == chunkBase {
+			if nzRow(nzs[end]) != lastRow {
 				rowsInChunk++
-				lastRow = nzs[end].r
+				lastRow = nzRow(nzs[end])
 			}
 			end++
 		}
@@ -183,10 +190,9 @@ func buildColdPool(g *tile.Grid, hot []bool, a *arch.Arch, prm model.Params) *po
 			c = caches[chunkIdx%w.Count]
 		}
 		dinBytes := 0
-		for i := start; i < end; i++ {
-			switch w.DinReuse {
-			case model.ReuseNone, model.ReuseIntraDemand:
-				addr := uint64(nzs[i].c) * uint64(rowBytes)
+		if w.DinReuse == model.ReuseNone || w.DinReuse == model.ReuseIntraDemand {
+			for i := start; i < end; i++ {
+				addr := uint64(nzCol(nzs[i])) * uint64(rowBytes)
 				dinBytes += missThrough(c, shared, addr, rowBytes)
 			}
 		}

@@ -8,7 +8,7 @@ package tile
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/obs"
 	"repro/internal/par"
@@ -122,16 +122,64 @@ func Partition(m *sparse.COO, tileH, tileW int) (*Grid, error) {
 	gridsBuilt.Inc()
 	tilesPartitioned.Add(int64(len(g.Tiles)))
 	par.Chunks(len(g.Tiles), func(lo, hi int) {
-		var scratch []int32
+		var scratch, aux []int32
 		for ti := lo; ti < hi; ti++ {
 			t := &g.Tiles[ti]
 			t.UniqRows = countRuns(g.Rows[t.Start:t.End])
 			scratch = append(scratch[:0], g.Cols[t.Start:t.End]...)
-			sort.Slice(scratch, func(i, j int) bool { return scratch[i] < scratch[j] })
+			aux = sortInt32(scratch, aux)
 			t.UniqCols = countRuns(scratch)
 		}
 	})
 	return g, nil
+}
+
+// sortInt32 sorts s (non-negative int32 values) ascending in place. Small
+// inputs take the generic pdqsort; larger ones an LSD radix sort over aux,
+// which the caller reuses across tiles (the returned slice is the possibly
+// grown aux). Both paths produce the identical sorted order.
+func sortInt32(s, aux []int32) []int32 {
+	const radixMin = 128
+	if len(s) < radixMin {
+		slices.Sort(s)
+		return aux
+	}
+	if cap(aux) < len(s) {
+		aux = make([]int32, len(s))
+	}
+	aux = aux[:len(s)]
+	var count [4][256]int
+	for _, v := range s {
+		count[0][v&0xff]++
+		count[1][(v>>8)&0xff]++
+		count[2][(v>>16)&0xff]++
+		count[3][(v>>24)&0xff]++
+	}
+	from, to := s, aux
+	for pass := 0; pass < 4; pass++ {
+		shift := uint(pass * 8)
+		c := &count[pass]
+		// All keys share this byte: the pass is the identity, skip it.
+		if c[(from[0]>>shift)&0xff] == len(s) {
+			continue
+		}
+		offs := 0
+		for b := 0; b < 256; b++ {
+			n := c[b]
+			c[b] = offs
+			offs += n
+		}
+		for _, v := range from {
+			b := (v >> shift) & 0xff
+			to[c[b]] = v
+			c[b]++
+		}
+		from, to = to, from
+	}
+	if &from[0] != &s[0] {
+		copy(s, from)
+	}
+	return aux
 }
 
 // countRuns counts distinct values in a slice where equal values are
@@ -180,8 +228,22 @@ func (g *Grid) TileNonzeros(ti int) (rows, cols []int32, vals []float64) {
 // worker touches in a panel equal the distinct r_ids across the tiles
 // assigned to it.
 func (g *Grid) PanelUniqRows(tr int, keep func(i int) bool) int {
+	n, _ := g.PanelUniqRowsScratch(tr, keep, nil)
+	return n
+}
+
+// PanelUniqRowsScratch is PanelUniqRows over a caller-owned seen buffer,
+// for loops that visit every panel (the model's reuse readjustment): the
+// buffer is cleared and grown as needed and returned for reuse, so the
+// per-panel allocation disappears. Passing nil allocates a fresh buffer.
+func (g *Grid) PanelUniqRowsScratch(tr int, keep func(i int) bool, seen []bool) (int, []bool) {
 	lo, hi := g.PanelRows(tr)
-	seen := make([]bool, hi-lo)
+	if cap(seen) < hi-lo {
+		seen = make([]bool, hi-lo)
+	} else {
+		seen = seen[:hi-lo]
+		clear(seen)
+	}
 	n := 0
 	for i, t := range g.Panel(tr) {
 		if keep != nil && !keep(i) {
@@ -194,7 +256,7 @@ func (g *Grid) PanelUniqRows(tr int, keep func(i int) bool) int {
 			}
 		}
 	}
-	return n
+	return n, seen
 }
 
 // Validate checks the grid's structural invariants: tiles ordered by
