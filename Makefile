@@ -16,9 +16,9 @@ COVER_FLOOR     = 60
 # Seconds of coverage-guided fuzzing per fuzzer in `make fuzz`.
 FUZZTIME ?= 10s
 
-.PHONY: help ci vet fmtcheck build lint shadow test race bench benchsmoke cover fuzz golden
+.PHONY: help ci vet fmtcheck build lint shadow test race bench benchsmoke benchcmp cover fuzz golden
 
-ci: vet fmtcheck build lint shadow race cover benchsmoke
+ci: vet fmtcheck build lint shadow race cover benchsmoke benchcmp
 
 help:
 	@echo "make ci          - full gate: vet, fmtcheck, build, lint, shadow, race, cover, benchsmoke"
@@ -28,6 +28,7 @@ help:
 	@echo "                   with -benchmem and write BENCH_$(BENCH_PR).json via cmd/benchdiff;"
 	@echo "                   compare baselines with: ./bin/benchdiff old.json new.json"
 	@echo "make benchsmoke  - compile-and-run every benchmark once (catches bit-rot)"
+	@echo "make benchcmp    - quick tracked-benchmark run vs the committed baseline"
 	@echo "make lint        - hottileslint analyzer suite (DESIGN.md §11)"
 	@echo "make cover       - coverage with per-package floor"
 	@echo "make fuzz        - short coverage-guided fuzz pass (FUZZTIME=$(FUZZTIME))"
@@ -92,6 +93,20 @@ bench: bin/benchdiff
 # iteration — a CI guard against benchmarks that no longer build or crash.
 benchsmoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# benchcmp guards the perf trajectory inside `make ci`: it re-runs the
+# tracked benchmarks briefly and compares against the committed
+# BENCH_$(BENCH_PR).json baseline. The short -benchtime keeps the gate
+# cheap, so the threshold is deliberately generous — this catches
+# order-of-magnitude regressions and zero-alloc benchmarks that started
+# allocating, not percent-level drift (use `make bench` + bin/benchdiff for
+# the precise comparison before updating the baseline).
+BENCHCMP_THRESHOLD ?= 4.0
+benchcmp: bin/benchdiff
+	{ $(GO) test -run=NONE -bench='BenchmarkEngine|BenchmarkWaterfill' -benchmem -benchtime=10ms ./internal/sim && \
+	  $(GO) test -run=NONE -bench='$(TRACKED_BENCH)' -benchmem -benchtime=10ms . ; } \
+	| ./bin/benchdiff -emit bin/BENCH_head.json
+	./bin/benchdiff -threshold $(BENCHCMP_THRESHOLD) BENCH_$(BENCH_PR).json bin/BENCH_head.json
 
 # cover prints a per-package coverage summary and fails when the gated
 # package drops below its floor.

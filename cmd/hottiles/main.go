@@ -18,6 +18,7 @@ import (
 
 	hottiles "repro"
 	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/sparse"
 	"repro/internal/viz"
 )
@@ -41,6 +42,8 @@ func main() {
 	mapFile := flag.String("map", "", "write the tile-assignment map (Figure 5 style) as PGM")
 	bwTraceFile := flag.String("bwtrace", "", "with -simulate: write the bandwidth trace strip as PGM")
 	tracePath := flag.String("trace", "", `write a JSON run manifest to this path ("-" prints a summary)`)
+	timelinePath := flag.String("timeline", "", `with -simulate: write a Chrome trace-event timeline (Perfetto) to this path ("-" prints a per-track summary)`)
+	debugAddr := flag.String("debug-addr", "", "serve the live debug endpoint (pprof, /metrics, /progress) on this address, e.g. :6060")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -54,6 +57,20 @@ func main() {
 	stopProfiles, err := obs.StartProfiles(*cpuProfile, *memProfile)
 	if err != nil {
 		fail(err)
+	}
+	if *debugAddr != "" {
+		addr, stop, srvErr := obs.ServeDebug(*debugAddr)
+		if srvErr != nil {
+			fail(srvErr)
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "hottiles: debug endpoint on http://%s\n", addr)
+	}
+	obs.SetDeepTiming(*tracePath != "" || *timelinePath != "" || *debugAddr != "")
+	var tl *obs.Timeline
+	if *timelinePath != "" || *debugAddr != "" {
+		tl = obs.NewTimeline(0)
+		par.SetTimeline(tl)
 	}
 	// Nil when -trace is absent: every trace call below is then a no-op.
 	var tr *obs.Tracer
@@ -238,9 +255,11 @@ func main() {
 		}
 		simSp := tr.Phase("simulate").Start(a.Name)
 		res, err := hottiles.Simulate(plan, &a, din, hottiles.SimOptions{
-			Serial: plan.Partition.Serial && !a.AtomicRMW,
-			Kernel: kernel,
-			Trace:  *bwTraceFile != "",
+			Serial:        plan.Partition.Serial && !a.AtomicRMW,
+			Kernel:        kernel,
+			Trace:         *bwTraceFile != "",
+			Timeline:      tl,
+			TimelineLabel: "sim",
 		})
 		simSp.End()
 		if err != nil {
@@ -284,6 +303,14 @@ func main() {
 		}
 		if *tracePath != "-" {
 			fmt.Printf("wrote run manifest to %s\n", *tracePath)
+		}
+	}
+	if *timelinePath != "" {
+		if err := obs.WriteTimeline(tl, *timelinePath, os.Stdout); err != nil {
+			fail(err)
+		}
+		if *timelinePath != "-" {
+			fmt.Printf("wrote timeline to %s (load in ui.perfetto.dev)\n", *timelinePath)
 		}
 	}
 	if err := stopProfiles(); err != nil {

@@ -34,12 +34,23 @@ func main() {
 	list := flag.Bool("list", false, "list available benchmarks")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	debugAddr := flag.String("debug-addr", "", "serve the live debug endpoint (pprof, /metrics, /progress) on this address, e.g. :6060")
 	flag.Parse()
 
 	stopProfiles, err := obs.StartProfiles(*cpuProfile, *memProfile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mmgen:", err)
 		os.Exit(1)
+	}
+	if *debugAddr != "" {
+		addr, stop, srvErr := obs.ServeDebug(*debugAddr)
+		if srvErr != nil {
+			fmt.Fprintln(os.Stderr, "mmgen:", srvErr)
+			os.Exit(1)
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "mmgen: debug endpoint on http://%s\n", addr)
+		obs.SetDeepTiming(true)
 	}
 
 	if *list {

@@ -28,11 +28,16 @@ import (
 
 type runner func(e *experiments.Env, w io.Writer) error
 
+// studyWallHist records each experiment's end-to-end wall time.
+var studyWallHist = obs.NewHistogram("spmmsim.study.wall.ns")
+
 func main() {
 	scale := flag.Int("scale", 64, "matrix scale divisor (paper sizes / scale)")
 	seed := flag.Int64("seed", 1, "generator seed")
 	workers := flag.Int("par", 0, "worker-pool size for the parallel engine (0 = GOMAXPROCS, 1 = serial)")
 	tracePath := flag.String("trace", "", `write a JSON run manifest to this path ("-" prints a summary)`)
+	timelinePath := flag.String("timeline", "", `write a Chrome trace-event timeline (Perfetto) to this path ("-" prints a per-track summary)`)
+	debugAddr := flag.String("debug-addr", "", "serve the live debug endpoint (pprof, /metrics, /progress) on this address, e.g. :6060")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Usage = usage
@@ -47,11 +52,31 @@ func main() {
 		fmt.Fprintln(os.Stderr, "spmmsim:", err)
 		os.Exit(1)
 	}
+	if *debugAddr != "" {
+		addr, stop, err := obs.ServeDebug(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spmmsim:", err)
+			os.Exit(1)
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "spmmsim: debug endpoint on http://%s\n", addr)
+	}
 	par.SetWorkers(*workers)
 	e := experiments.NewEnv(*scale, *seed)
 	names := flag.Args()
 	if len(names) == 1 && names[0] == "all" {
 		names = allNames()
+	}
+
+	// Any observability consumer turns on the deep-timing clock reads that
+	// feed the per-tile, per-step, and cache-lookup histograms.
+	obs.SetDeepTiming(*tracePath != "" || *timelinePath != "" || *debugAddr != "")
+
+	var tl *obs.Timeline
+	if *timelinePath != "" || *debugAddr != "" {
+		tl = obs.NewTimeline(0)
+		e.SetTimeline(tl)
+		par.SetTimeline(tl)
 	}
 
 	// A nil tracer keeps the default path free of observability cost; every
@@ -66,6 +91,7 @@ func main() {
 		e.SetTracer(tr)
 	}
 
+	studies := tl.Track("spmmsim/studies")
 	for _, name := range names {
 		r, ok := table[name]
 		if !ok {
@@ -82,9 +108,14 @@ func main() {
 		if tr != nil {
 			w = io.MultiWriter(os.Stdout, &buf)
 		}
+		doneProgress := obs.StartProgress(name)
 		sp := tr.Root().Start(name)
+		slice := studies.Start(name)
 		err := r(e, w)
+		slice.End()
 		sp.End()
+		doneProgress()
+		studyWallHist.ObserveSince(start)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "spmmsim: %s: %v\n", name, err)
 			os.Exit(1)
@@ -100,6 +131,15 @@ func main() {
 		}
 		if *tracePath != "-" {
 			fmt.Printf("wrote run manifest to %s\n", *tracePath)
+		}
+	}
+	if *timelinePath != "" {
+		if err := obs.WriteTimeline(tl, *timelinePath, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "spmmsim:", err)
+			os.Exit(1)
+		}
+		if *timelinePath != "-" {
+			fmt.Printf("wrote timeline to %s (load in ui.perfetto.dev)\n", *timelinePath)
 		}
 	}
 	if err := stopProfiles(); err != nil {

@@ -1,10 +1,14 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"io"
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
+	"repro/internal/par"
 )
 
 func TestAllNamesOrdered(t *testing.T) {
@@ -57,3 +61,66 @@ func TestEveryExperimentRunsAtTinyScale(t *testing.T) {
 
 // newTestEnv returns a very coarse environment for smoke tests.
 func newTestEnv() *experiments.Env { return experiments.NewEnv(1024, 1) }
+
+// TestTimelineChromeSchema runs one experiment exactly the way
+// `spmmsim -timeline out.json fig10` does and validates the exported
+// timeline against the Chrome trace-event schema Perfetto consumes: valid
+// JSON, only known phase codes, the two clock processes named, and at
+// least one simulated worker slice.
+func TestTimelineChromeSchema(t *testing.T) {
+	prev := obs.SetDeepTiming(true)
+	defer obs.SetDeepTiming(prev)
+	tl := obs.NewTimeline(0)
+	e := newTestEnv()
+	e.SetTimeline(tl)
+	par.SetTimeline(tl)
+	defer par.SetTimeline(nil)
+
+	if err := table["fig10"](e, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := tl.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("timeline export is not valid JSON: %v", err)
+	}
+	if len(out.TraceEvents) == 0 {
+		t.Fatal("timeline export has no events")
+	}
+	processes := map[string]bool{}
+	workerSlices := 0
+	for _, ev := range out.TraceEvents {
+		switch ev.Ph {
+		case "X", "i", "C":
+			if ev.Pid != 1 && ev.Pid != 2 {
+				t.Fatalf("event %q has pid %d, want 1 or 2", ev.Name, ev.Pid)
+			}
+		case "M":
+			if ev.Name == "process_name" {
+				processes[ev.Args["name"].(string)] = true
+			}
+		default:
+			t.Fatalf("unknown trace phase %q", ev.Ph)
+		}
+		if ev.Ph == "X" && ev.Pid == 2 {
+			workerSlices++
+		}
+	}
+	if !processes["wall clock"] || !processes["simulated time"] {
+		t.Fatalf("missing process metadata: %v", processes)
+	}
+	if workerSlices == 0 {
+		t.Fatal("no simulated worker slices in the export")
+	}
+}

@@ -15,8 +15,10 @@ import (
 )
 
 // allowed lists the package path suffixes that may spawn goroutines: the
-// pool itself.
-var allowed = []string{"internal/par"}
+// pool itself, and the observability layer's debug HTTP server (whose
+// accept-loop goroutine lives for the whole process and cannot run on a
+// bounded task pool).
+var allowed = []string{"internal/par", "internal/obs"}
 
 // Analyzer is the nakedgo pass.
 var Analyzer = &analysis.Analyzer{

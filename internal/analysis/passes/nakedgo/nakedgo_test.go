@@ -8,5 +8,5 @@ import (
 )
 
 func TestNakedGo(t *testing.T) {
-	analysistest.Run(t, "testdata", nakedgo.Analyzer, "work", "repro/internal/par")
+	analysistest.Run(t, "testdata", nakedgo.Analyzer, "work", "repro/internal/par", "repro/internal/obs")
 }

@@ -1,0 +1,15 @@
+// Package obs is the second nakedgo negative package: the observability
+// layer's debug HTTP server owns a process-lifetime accept loop that
+// cannot run on the bounded task pool.
+package obs
+
+// ServeDebug mimics the real debug server's accept-loop spawn; its go
+// statement is allowed.
+func ServeDebug(serve func()) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		serve()
+		close(done)
+	}()
+	return func() { <-done }
+}

@@ -8,6 +8,7 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/arch"
 	"repro/internal/dense"
@@ -38,6 +39,9 @@ type Env struct {
 	// phases generate/tile/estimate/exec (nil = tracing disabled; every
 	// span call below is nil-safe and costs only a nil check).
 	trace *obs.Tracer
+	// timeline receives per-worker simulator events for every exec (nil =
+	// disabled); each run's tracks are labeled with its cache key.
+	timeline *obs.Timeline
 
 	mats  par.Cache[string, *sparse.COO]
 	grids par.Cache[string, *tile.Grid]
@@ -59,6 +63,16 @@ func NewEnv(scale int, seed int64) *Env {
 // so a traced re-run of a warm Env shows cache hits in the counters rather
 // than duplicate spans.
 func (e *Env) SetTracer(t *obs.Tracer) { e.trace = t }
+
+// SetTimeline attaches the event recorder simulated runs report to (nil
+// disables, the default). Each exec's worker tracks are prefixed with its
+// cache key, e.g. "SPADE|scircuit|HotTiles|2/hot/w0".
+func (e *Env) SetTimeline(tl *obs.Timeline) { e.timeline = tl }
+
+// Per-cell wall-time histogram: one observation per cache-missed exec
+// (partition + simulate), the unit of work the experiment fan-out
+// schedules.
+var execWallHist = obs.NewHistogram("experiments.exec.wall.ns")
 
 // TileSize returns the tile dimension matching the matrix scale: the
 // paper's 8192 divided by the same factor, clamped to [64, 512].
@@ -140,6 +154,10 @@ func (e *Env) exec(a arch.Arch, b gen.Benchmark, strat string, opsPerMAC float64
 	a.TileH, a.TileW = e.TileSize(), e.TileSize()
 	key := fmt.Sprintf("%s|%s|%s|%g", a.Name, b.Short, strat, opsPerMAC)
 	return e.runs.Get(key, func() (*runOut, error) {
+		done := obs.StartProgress("exec " + key)
+		defer done()
+		t0 := time.Now()
+		defer func() { execWallHist.ObserveSince(t0) }()
 		es, err := e.estimates(&a, b, opsPerMAC)
 		if err != nil {
 			return nil, err
@@ -190,6 +208,8 @@ func (e *Env) exec(a arch.Arch, b gen.Benchmark, strat string, opsPerMAC float64
 			Serial:         serial,
 			Semiring:       &sr,
 			SkipFunctional: true,
+			Timeline:       e.timeline,
+			TimelineLabel:  key,
 		})
 		sim1.End()
 		if err != nil {
@@ -205,6 +225,10 @@ func (e *Env) execHeuristic(a arch.Arch, b gen.Benchmark, h partition.Heuristic)
 	a.TileH, a.TileW = e.TileSize(), e.TileSize()
 	key := fmt.Sprintf("%s|%s|heur:%v", a.Name, b.Short, h)
 	return e.runs.Get(key, func() (*runOut, error) {
+		done := obs.StartProgress("exec " + key)
+		defer done()
+		t0 := time.Now()
+		defer func() { execWallHist.ObserveSince(t0) }()
 		es, err := e.estimates(&a, b, 2)
 		if err != nil {
 			return nil, err
@@ -215,7 +239,10 @@ func (e *Env) execHeuristic(a arch.Arch, b gen.Benchmark, h partition.Heuristic)
 		if err != nil {
 			return nil, err
 		}
-		r, err := sim.Run(es.Grid, part.Hot, &a, nil, sim.Options{Serial: part.Serial, SkipFunctional: true})
+		r, err := sim.Run(es.Grid, part.Hot, &a, nil, sim.Options{
+			Serial: part.Serial, SkipFunctional: true,
+			Timeline: e.timeline, TimelineLabel: key,
+		})
 		if err != nil {
 			return nil, err
 		}

@@ -2,6 +2,7 @@ package model
 
 import (
 	"math"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/par"
@@ -10,7 +11,13 @@ import (
 
 // modelEstimates counts per-tile model evaluations (one per (tile, worker)
 // pair through EstimateGrid), the dominant analytical-model cost.
-var modelEstimates = obs.NewCounter("model.estimates")
+// estimateLatency records how long each evaluation takes — but only under
+// obs.DeepTiming, since two clock reads per tile would otherwise tax the
+// partitioner's hottest loop for nobody's benefit.
+var (
+	modelEstimates  = obs.NewCounter("model.estimates")
+	estimateLatency = obs.NewHistogram("model.estimate.ns")
+)
 
 // Estimate is the model's prediction for one (tile, worker-type) pair: the
 // tile's standalone execution time on one worker of that type (th_i / tc_i
@@ -144,11 +151,24 @@ func EstimateTile(w *Worker, t *tile.Tile, g *tile.Grid, p Params) Estimate {
 func EstimateGrid(w *Worker, g *tile.Grid, p Params) []Estimate {
 	modelEstimates.Add(int64(len(g.Tiles)))
 	out := make([]Estimate, len(g.Tiles))
+	deep := obs.DeepTiming()
 	par.Chunks(len(g.Tiles), func(lo, hi int) {
 		e := newEstimator(w, g, p)
-		for i := lo; i < hi; i++ {
-			out[i] = e.estimateTile(&g.Tiles[i])
+		if !deep {
+			for i := lo; i < hi; i++ {
+				out[i] = e.estimateTile(&g.Tiles[i])
+			}
+			return
 		}
+		// Deep timing: per-tile wall clock into a chunk-local histogram
+		// (plain integer adds), folded into the shared one per chunk.
+		var lh obs.LocalHist
+		for i := lo; i < hi; i++ {
+			t0 := time.Now()
+			out[i] = e.estimateTile(&g.Tiles[i])
+			lh.Observe(time.Since(t0).Nanoseconds())
+		}
+		estimateLatency.Merge(&lh)
 	})
 	return out
 }

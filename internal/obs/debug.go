@@ -1,0 +1,161 @@
+// Live debug endpoint: an opt-in HTTP server (the CLIs' -debug-addr flag)
+// exposing the standard Go diagnostics (net/http/pprof, expvar) next to
+// this package's own state — the full metric registry in Prometheus text
+// exposition at /metrics and the running study fan-out at /progress. The
+// mux is built separately from the server so tests drive it through
+// httptest without binding a port.
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"slices"
+	"strings"
+)
+
+// sanitizeMetricName maps a registry name onto the Prometheus metric-name
+// charset: runs of characters outside [a-zA-Z0-9_:] become one underscore
+// (so "sim.engine.steps" serves as "sim_engine_steps").
+func sanitizeMetricName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if b.Len() == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WriteMetricsText renders the view in the Prometheus text exposition
+// format (version 0.0.4): counters, gauges (level plus a companion _max
+// gauge for the high-water mark), and histograms with cumulative _bucket
+// series, _sum, and _count. Output is sorted by metric name so scrapes
+// diff cleanly.
+func (v *RegistryView) WriteMetricsText(w io.Writer) error {
+	names := make([]string, 0, len(v.Counters))
+	for name := range v.Counters {
+		names = append(names, name)
+	}
+	slices.Sort(names)
+	for _, name := range names {
+		p := sanitizeMetricName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", p, p, v.Counters[name]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range v.Gauges {
+		names = append(names, name)
+	}
+	slices.Sort(names)
+	for _, name := range names {
+		g := v.Gauges[name]
+		p := sanitizeMetricName(name)
+		_, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n# TYPE %s_max gauge\n%s_max %d\n",
+			p, p, g.Value, p, p, g.Max)
+		if err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range v.Histograms {
+		names = append(names, name)
+	}
+	slices.Sort(names)
+	for _, name := range names {
+		h := v.Histograms[name]
+		p := sanitizeMetricName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", p); err != nil {
+			return err
+		}
+		for _, b := range h.Buckets {
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", p, b.UpperNS, b.Count); err != nil {
+				return err
+			}
+		}
+		_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+			p, h.Count, p, h.SumNS, p, h.Count)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// debugIndex is the landing page listing the endpoint's routes.
+const debugIndex = `<html><head><title>hottiles debug</title></head><body>
+<h1>hottiles debug endpoint</h1>
+<ul>
+<li><a href="/metrics">/metrics</a> — obs registry, Prometheus text exposition</li>
+<li><a href="/progress">/progress</a> — running study fan-out, JSON</li>
+<li><a href="/debug/vars">/debug/vars</a> — expvar (memstats, cmdline)</li>
+<li><a href="/debug/pprof/">/debug/pprof/</a> — CPU, heap, goroutine, block profiles</li>
+</ul></body></html>
+`
+
+// DebugMux builds the debug endpoint's routing table. Tests wrap it in
+// httptest.Server; ServeDebug binds it to a real listener.
+func DebugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := RegistrySnapshot().WriteMetricsText(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(ProgressSnapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		io.WriteString(w, debugIndex)
+	})
+	return mux
+}
+
+// ServeDebug starts the debug endpoint on addr (e.g. ":6060"). It returns
+// the bound address (useful when addr requested port 0) and a stop
+// function that closes the listener and any in-flight connections. The
+// accept loop is the one goroutine the repository runs outside the par
+// pool: it must outlive any single fan-out and terminate with the
+// listener, which the pool's bounded-task shape cannot express.
+func ServeDebug(addr string) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: debug endpoint: %w", err)
+	}
+	srv := &http.Server{Handler: DebugMux()}
+	go srv.Serve(ln)
+	return ln.Addr().String(), func() { srv.Close() }, nil
+}

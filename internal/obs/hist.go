@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// numHistBuckets covers int64 nanosecond observations with power-of-two
+// bucket boundaries: bucket i counts observations v with bits.Len64(v) == i,
+// i.e. v in [2^(i-1), 2^i). Bucket 0 holds non-positive observations. 64
+// buckets span 1ns to ~292 years, so one fixed scheme fits every duration
+// the pipeline records (tile estimates, study wall times, simulated step
+// widths, cache lookups) without per-histogram configuration.
+const numHistBuckets = 64
+
+// Histogram is a process-wide fixed-bucket atomic histogram of nanosecond
+// observations. Like Counter it is always live: Observe is a handful of
+// atomic adds with no locks, so leaf packages register histograms at init
+// and record unconditionally (hot loops gate on DeepTiming to skip the
+// clock reads, not the histogram). A nil Histogram is a no-op.
+type Histogram struct {
+	name    string
+	buckets [numHistBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+}
+
+// bucketOf returns the bucket index for one nanosecond observation.
+func bucketOf(ns int64) int {
+	if ns <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(ns))
+	if b >= numHistBuckets {
+		return numHistBuckets - 1
+	}
+	return b
+}
+
+// bucketUpper returns bucket i's inclusive upper bound in nanoseconds.
+func bucketUpper(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 63 {
+		return int64(^uint64(0) >> 1) // MaxInt64: the overflow bucket
+	}
+	return int64(1)<<i - 1
+}
+
+// Observe records one nanosecond observation.
+func (h *Histogram) Observe(ns int64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bucketOf(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		m := h.max.Load()
+		if ns <= m || h.max.CompareAndSwap(m, ns) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the wall time elapsed since t0.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(t0).Nanoseconds())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Merge folds a LocalHist's accumulated counts into the histogram and
+// resets the local. Engine-style single-goroutine hot loops accumulate into
+// a LocalHist (plain integer adds, no atomics) and merge once per run.
+func (h *Histogram) Merge(l *LocalHist) {
+	if h == nil || l == nil || l.count == 0 {
+		return
+	}
+	for i, c := range l.counts {
+		if c != 0 {
+			h.buckets[i].Add(c)
+		}
+	}
+	h.count.Add(l.count)
+	h.sum.Add(l.sum)
+	for {
+		m := h.max.Load()
+		if l.max <= m || h.max.CompareAndSwap(m, l.max) {
+			break
+		}
+	}
+	*l = LocalHist{}
+}
+
+// LocalHist is the allocation-free, single-goroutine accumulation buffer
+// behind Histogram.Merge. The zero value is ready to use.
+type LocalHist struct {
+	counts [numHistBuckets]int64
+	count  int64
+	sum    int64
+	max    int64
+}
+
+// Observe records one nanosecond observation into the local buffer.
+func (l *LocalHist) Observe(ns int64) {
+	l.counts[bucketOf(ns)]++
+	l.count++
+	l.sum += ns
+	if ns > l.max {
+		l.max = ns
+	}
+}
+
+// HistBucket is one cumulative bucket of a histogram snapshot: Count
+// observations were ≤ UpperNS.
+type HistBucket struct {
+	UpperNS int64
+	Count   int64
+}
+
+// HistogramSnapshot is one histogram's state at a point in time. The
+// quantiles are upper-bound estimates (the top of the power-of-two bucket
+// holding the quantile), which is the right bias for latency reporting.
+type HistogramSnapshot struct {
+	Count int64 `json:"count"`
+	SumNS int64 `json:"sum_ns"`
+	MaxNS int64 `json:"max_ns"`
+	P50NS int64 `json:"p50_ns"`
+	P90NS int64 `json:"p90_ns"`
+	P99NS int64 `json:"p99_ns"`
+
+	// Buckets carries the cumulative distribution for the Prometheus
+	// exposition; it is omitted from run manifests to keep them readable.
+	Buckets []HistBucket `json:"-"`
+}
+
+// snapshotLocked assembles the snapshot. Reads are atomic loads, so a
+// snapshot taken during concurrent Observes is a consistent-enough view:
+// each bucket count is exact at its read time.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	var counts [numHistBuckets]int64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		s.Count += counts[i]
+	}
+	s.SumNS = h.sum.Load()
+	s.MaxNS = h.max.Load()
+
+	quantile := func(q float64) int64 {
+		if s.Count == 0 {
+			return 0
+		}
+		want := int64(q * float64(s.Count))
+		if want < 1 {
+			want = 1
+		}
+		cum := int64(0)
+		for i, c := range counts {
+			cum += c
+			if cum >= want {
+				u := bucketUpper(i)
+				if u > s.MaxNS && s.MaxNS > 0 {
+					return s.MaxNS
+				}
+				return u
+			}
+		}
+		return s.MaxNS
+	}
+	s.P50NS = quantile(0.50)
+	s.P90NS = quantile(0.90)
+	s.P99NS = quantile(0.99)
+
+	cum := int64(0)
+	for i, c := range counts {
+		cum += c
+		if c != 0 {
+			s.Buckets = append(s.Buckets, HistBucket{UpperNS: bucketUpper(i), Count: cum})
+		}
+	}
+	return s
+}
+
+// deepTiming gates the wall-clock reads on per-tile and per-step hot loops:
+// histograms themselves are always live, but reading the clock twice per
+// tile is only worth paying when someone is looking (a -timeline, -trace,
+// or -debug-addr consumer).
+var deepTiming atomic.Bool
+
+// SetDeepTiming enables or disables the hot-loop timing observations
+// (per-tile model estimates, per-step simulated widths, cache lookups) and
+// returns the previous setting.
+func SetDeepTiming(on bool) bool { return deepTiming.Swap(on) }
+
+// DeepTiming reports whether hot-loop timing observations are enabled.
+func DeepTiming() bool { return deepTiming.Load() }

@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		ns     int64
+		bucket int
+	}{
+		{-5, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1023, 10}, {1024, 11}, {math.MaxInt64, 63},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.ns); got != c.bucket {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.ns, got, c.bucket)
+		}
+	}
+	// Every positive observation must land in a bucket whose upper bound
+	// covers it.
+	for _, ns := range []int64{1, 2, 3, 100, 1e6, 1e9, math.MaxInt64} {
+		b := bucketOf(ns)
+		if up := bucketUpper(b); up < ns {
+			t.Errorf("bucketUpper(bucketOf(%d)) = %d < observation", ns, up)
+		}
+		if b > 1 {
+			if low := bucketUpper(b - 1); low >= ns {
+				t.Errorf("observation %d also fits bucket %d (upper %d)", ns, b-1, low)
+			}
+		}
+	}
+}
+
+func TestHistogramSnapshotQuantiles(t *testing.T) {
+	var h Histogram
+	// 90 fast observations (~1µs) and 10 slow ones (~1ms): p50/p90 must sit
+	// in the fast bucket's range, p99 and max in the slow one's.
+	for i := 0; i < 90; i++ {
+		h.Observe(1000)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1_000_000)
+	}
+	s := h.snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	if want := int64(90*1000 + 10*1_000_000); s.SumNS != want {
+		t.Fatalf("sum = %d, want %d", s.SumNS, want)
+	}
+	if s.MaxNS != 1_000_000 {
+		t.Fatalf("max = %d, want 1000000", s.MaxNS)
+	}
+	if s.P50NS < 1000 || s.P50NS >= 2048 {
+		t.Errorf("p50 = %d, want within the 1µs bucket [1000, 2048)", s.P50NS)
+	}
+	if s.P90NS < 1000 || s.P90NS >= 2048 {
+		t.Errorf("p90 = %d, want within the 1µs bucket [1000, 2048)", s.P90NS)
+	}
+	if s.P99NS < 1_000_000 {
+		t.Errorf("p99 = %d, want >= 1ms", s.P99NS)
+	}
+	// Quantile estimates are clamped to the observed max.
+	if s.P99NS > s.MaxNS {
+		t.Errorf("p99 = %d exceeds max %d", s.P99NS, s.MaxNS)
+	}
+
+	// The cumulative buckets must end at the full count, strictly increase,
+	// and each upper bound must be representable.
+	if len(s.Buckets) == 0 {
+		t.Fatal("no buckets in snapshot")
+	}
+	prev := int64(0)
+	for _, b := range s.Buckets {
+		if b.Count <= prev {
+			t.Errorf("bucket cumulative count %d not increasing (prev %d)", b.Count, prev)
+		}
+		prev = b.Count
+	}
+	if prev != s.Count {
+		t.Errorf("last cumulative count %d != total %d", prev, s.Count)
+	}
+}
+
+func TestHistogramEmptySnapshot(t *testing.T) {
+	var h Histogram
+	s := h.snapshot()
+	if s.Count != 0 || s.P50NS != 0 || s.P99NS != 0 || s.MaxNS != 0 || len(s.Buckets) != 0 {
+		t.Fatalf("empty histogram snapshot not zero: %+v", s)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var h Histogram
+	var l LocalHist
+	for i := int64(1); i <= 100; i++ {
+		l.Observe(i * 1000)
+	}
+	h.Observe(7) // pre-existing direct observation
+	h.Merge(&l)
+	if h.Count() != 101 {
+		t.Fatalf("count after merge = %d, want 101", h.Count())
+	}
+	s := h.snapshot()
+	if want := int64(7 + 1000*(100*101/2)); s.SumNS != want {
+		t.Fatalf("sum after merge = %d, want %d", s.SumNS, want)
+	}
+	if s.MaxNS != 100_000 {
+		t.Fatalf("max after merge = %d, want 100000", s.MaxNS)
+	}
+	// Merge resets the local buffer so it can be reused.
+	if l.count != 0 || l.sum != 0 || l.max != 0 {
+		t.Fatalf("LocalHist not reset by Merge: %+v", l)
+	}
+	h.Merge(&l) // merging an empty local is a no-op
+	if h.Count() != 101 {
+		t.Fatalf("empty merge changed count: %d", h.Count())
+	}
+}
+
+func TestHistogramNilAndObserveSince(t *testing.T) {
+	var h *Histogram
+	h.Observe(5)
+	h.ObserveSince(time.Now())
+	h.Merge(&LocalHist{})
+	if h.Count() != 0 {
+		t.Fatal("nil histogram counted")
+	}
+
+	var real Histogram
+	real.ObserveSince(time.Now().Add(-time.Millisecond))
+	s := real.snapshot()
+	if s.Count != 1 || s.MaxNS < time.Millisecond.Nanoseconds() {
+		t.Fatalf("ObserveSince recorded %+v, want one ~1ms observation", s)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	var h Histogram
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(int64(g*per + i + 1))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != goroutines*per {
+		t.Fatalf("count = %d, want %d", h.Count(), goroutines*per)
+	}
+	s := h.snapshot()
+	if s.MaxNS != goroutines*per {
+		t.Fatalf("max = %d, want %d", s.MaxNS, goroutines*per)
+	}
+	total := int64(0)
+	for i, b := range s.Buckets {
+		if i == len(s.Buckets)-1 {
+			total = b.Count
+		}
+	}
+	if total != goroutines*per {
+		t.Fatalf("cumulative bucket total = %d, want %d", total, goroutines*per)
+	}
+}
+
+func TestSetDeepTiming(t *testing.T) {
+	prev := SetDeepTiming(true)
+	defer SetDeepTiming(prev)
+	if !DeepTiming() {
+		t.Fatal("DeepTiming false after SetDeepTiming(true)")
+	}
+	if !SetDeepTiming(false) {
+		t.Fatal("SetDeepTiming did not report the previous setting")
+	}
+	if DeepTiming() {
+		t.Fatal("DeepTiming true after SetDeepTiming(false)")
+	}
+}

@@ -16,12 +16,16 @@ import (
 // every registered counter/gauge, and a content hash of each produced
 // artifact. Written as JSON to runs/<name>.json by the CLIs (DESIGN.md §10).
 type Manifest struct {
-	Name     string            `json:"name"`
-	Created  string            `json:"created"` // RFC3339
-	Config   map[string]string `json:"config,omitempty"`
-	Spans    *SpanRecord       `json:"spans"`
-	Counters map[string]int64  `json:"counters"`
-	Outputs  []Output          `json:"outputs,omitempty"`
+	Name    string            `json:"name"`
+	Created string            `json:"created"` // RFC3339
+	Config  map[string]string `json:"config,omitempty"`
+	Spans   *SpanRecord       `json:"spans"`
+	// Counters and Histograms are rendered from one RegistrySnapshot, so a
+	// manifest can never pair a counter view and a histogram view taken at
+	// different moments of the run.
+	Counters   map[string]int64             `json:"counters"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Outputs    []Output                     `json:"outputs,omitempty"`
 }
 
 // SpanRecord is the serialized form of one span.
@@ -94,13 +98,21 @@ func (t *Tracer) Manifest() *Manifest {
 	outputs := append([]Output(nil), t.outputs...)
 	t.cfgMu.Unlock()
 
+	view := RegistrySnapshot()
+	hists := make(map[string]HistogramSnapshot, len(view.Histograms))
+	for name, h := range view.Histograms {
+		if h.Count > 0 {
+			hists[name] = h
+		}
+	}
 	return &Manifest{
-		Name:     name,
-		Created:  created,
-		Config:   cfg,
-		Spans:    spans,
-		Counters: Snapshot(),
-		Outputs:  outputs,
+		Name:       name,
+		Created:    created,
+		Config:     cfg,
+		Spans:      spans,
+		Counters:   view.flatten(),
+		Histograms: hists,
+		Outputs:    outputs,
 	}
 }
 
@@ -204,6 +216,23 @@ func (t *Tracer) WriteSummary(w io.Writer) error {
 		fmt.Fprintln(w, "counters:")
 		for _, name := range names {
 			fmt.Fprintf(w, "  %-30s%12d\n", name, m.Counters[name])
+		}
+	}
+	if len(m.Histograms) > 0 {
+		hnames := make([]string, 0, len(m.Histograms))
+		for name := range m.Histograms {
+			hnames = append(hnames, name)
+		}
+		slices.Sort(hnames)
+		fmt.Fprintln(w, "histograms:")
+		fmt.Fprintf(w, "  %-28s%10s%14s%14s%14s%14s\n", "name", "count", "p50", "p90", "p99", "max")
+		for _, name := range hnames {
+			h := m.Histograms[name]
+			fmt.Fprintf(w, "  %-28s%10d%14v%14v%14v%14v\n", name, h.Count,
+				time.Duration(h.P50NS).Round(time.Nanosecond),
+				time.Duration(h.P90NS).Round(time.Nanosecond),
+				time.Duration(h.P99NS).Round(time.Nanosecond),
+				time.Duration(h.MaxNS).Round(time.Nanosecond))
 		}
 	}
 	for _, o := range m.Outputs {

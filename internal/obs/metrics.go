@@ -70,12 +70,14 @@ func (g *Gauge) Max() int64 {
 	return g.max.Load()
 }
 
-// registry holds every counter and gauge created through NewCounter and
-// NewGauge so Snapshot can enumerate them for manifests.
+// registry holds every counter, gauge, and histogram created through
+// NewCounter/NewGauge/NewHistogram so RegistrySnapshot can enumerate them
+// for manifests and the debug endpoint's Prometheus exposition.
 var registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
 }
 
 // NewCounter returns the process-wide counter with the given name, creating
@@ -110,31 +112,99 @@ func NewGauge(name string) *Gauge {
 	return g
 }
 
-// Snapshot returns the current value of every registered counter, plus each
-// gauge's level (name) and high-water mark (name + ".max").
-func Snapshot() map[string]int64 {
+// NewHistogram returns the process-wide histogram with the given name,
+// creating it on first use. Names end in ".ns" by convention: every
+// histogram records nanoseconds.
+func NewHistogram(name string) *Histogram {
 	registry.mu.Lock()
 	defer registry.mu.Unlock()
-	out := make(map[string]int64, len(registry.counters)+2*len(registry.gauges))
-	for name, c := range registry.counters {
-		out[name] = c.Load()
+	if registry.histograms == nil {
+		registry.histograms = map[string]*Histogram{}
 	}
-	for name, g := range registry.gauges {
-		out[name] = g.Load()
-		out[name+".max"] = g.Max()
+	if h, ok := registry.histograms[name]; ok {
+		return h
+	}
+	h := &Histogram{name: name}
+	registry.histograms[name] = h
+	return h
+}
+
+// GaugeSnapshot is one gauge's state in a RegistryView.
+type GaugeSnapshot struct {
+	Value int64 `json:"value"`
+	Max   int64 `json:"max"`
+}
+
+// RegistryView is the state of every registered metric, enumerated in one
+// pass under the registry lock. Both the run manifest and the debug
+// endpoint's Prometheus exposition are rendered from one RegistryView, so
+// the two can never disagree about which metrics exist mid-run.
+type RegistryView struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]GaugeSnapshot     `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// RegistrySnapshot enumerates every registered counter, gauge, and
+// histogram under one registry lock and reads each exactly once.
+func RegistrySnapshot() *RegistryView {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	v := &RegistryView{
+		Counters: make(map[string]int64, len(registry.counters)),
+	}
+	for name, c := range registry.counters {
+		v.Counters[name] = c.Load()
+	}
+	if len(registry.gauges) > 0 {
+		v.Gauges = make(map[string]GaugeSnapshot, len(registry.gauges))
+		for name, g := range registry.gauges {
+			v.Gauges[name] = GaugeSnapshot{Value: g.Load(), Max: g.Max()}
+		}
+	}
+	if len(registry.histograms) > 0 {
+		v.Histograms = make(map[string]HistogramSnapshot, len(registry.histograms))
+		for name, h := range registry.histograms {
+			v.Histograms[name] = h.snapshot()
+		}
+	}
+	return v
+}
+
+// flatten folds a RegistryView into the manifest's flat counter map: every
+// counter by name, plus each gauge's level (name) and high-water mark
+// (name + ".max").
+func (v *RegistryView) flatten() map[string]int64 {
+	out := make(map[string]int64, len(v.Counters)+2*len(v.Gauges))
+	for name, c := range v.Counters {
+		out[name] = c
+	}
+	for name, g := range v.Gauges {
+		out[name] = g.Value
+		out[name+".max"] = g.Max
 	}
 	return out
 }
 
-// MetricNames returns the registered counter and gauge names, sorted.
+// Snapshot returns the current value of every registered counter, plus each
+// gauge's level (name) and high-water mark (name + ".max").
+func Snapshot() map[string]int64 {
+	return RegistrySnapshot().flatten()
+}
+
+// MetricNames returns the registered counter, gauge, and histogram names,
+// sorted.
 func MetricNames() []string {
 	registry.mu.Lock()
 	defer registry.mu.Unlock()
-	names := make([]string, 0, len(registry.counters)+len(registry.gauges))
+	names := make([]string, 0, len(registry.counters)+len(registry.gauges)+len(registry.histograms))
 	for name := range registry.counters {
 		names = append(names, name)
 	}
 	for name := range registry.gauges {
+		names = append(names, name)
+	}
+	for name := range registry.histograms {
 		names = append(names, name)
 	}
 	slices.Sort(names)

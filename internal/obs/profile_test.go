@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartProfilesRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "heap.pprof")
+	stop, err := StartProfiles(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has samples to serialize.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", path, err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("profile %s is empty", path)
+		}
+	}
+}
+
+func TestStartProfilesEmptyPathsAreNoOps(t *testing.T) {
+	stop, err := StartProfiles("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStartProfilesBadCPUPath(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "missing-dir", "cpu.pprof")
+	stop, err := StartProfiles(bad, "")
+	if err == nil {
+		t.Fatal("unwritable CPU profile path did not error")
+	}
+	if stop == nil {
+		t.Fatal("stop must be non-nil even on error")
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("stop after failed start errored: %v", err)
+	}
+}
+
+func TestStartProfilesBadMemPath(t *testing.T) {
+	// The heap profile is written at stop time, so a bad path surfaces there.
+	bad := filepath.Join(t.TempDir(), "missing-dir", "heap.pprof")
+	stop, err := StartProfiles("", bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err == nil {
+		t.Fatal("unwritable heap profile path did not error at stop")
+	}
+}

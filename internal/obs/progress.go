@@ -1,0 +1,109 @@
+// Progress board: a process-wide view of the work currently in flight,
+// served as JSON by the debug endpoint's /progress route. The experiment
+// engine marks each study and each cache-missed cell as it starts and
+// finishes, so `curl :6060/progress` during a long sweep shows what the
+// fan-out is doing right now rather than only what it has counted so far.
+package obs
+
+import (
+	"cmp"
+	"slices"
+	"sync"
+	"time"
+)
+
+// progressRecent bounds the finished-item ring the board retains.
+const progressRecent = 32
+
+// progressBoard is the process-wide board. Items are keyed by a sequence
+// number so two concurrent starts of the same name stay distinct.
+var progressBoard struct {
+	mu        sync.Mutex
+	seq       uint64
+	running   map[uint64]*progressItem
+	done      []FinishedItem
+	completed int
+}
+
+// progressItem is one in-flight piece of work.
+type progressItem struct {
+	name    string
+	started time.Time
+}
+
+// RunningItem is one in-flight entry of a ProgressView.
+type RunningItem struct {
+	Name      string  `json:"name"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// FinishedItem is one recently completed entry of a ProgressView.
+type FinishedItem struct {
+	Name string  `json:"name"`
+	MS   float64 `json:"ms"`
+}
+
+// ProgressView is the JSON shape /progress serves.
+type ProgressView struct {
+	Running   []RunningItem  `json:"running"`
+	Recent    []FinishedItem `json:"recent,omitempty"`
+	Completed int            `json:"completed"`
+}
+
+// StartProgress marks one named piece of work as in flight and returns the
+// function that marks it finished (idempotent).
+func StartProgress(name string) (done func()) {
+	b := &progressBoard
+	b.mu.Lock()
+	if b.running == nil {
+		b.running = map[uint64]*progressItem{}
+	}
+	b.seq++
+	id := b.seq
+	b.running[id] = &progressItem{name: name, started: time.Now()}
+	b.mu.Unlock()
+	return func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		it, ok := b.running[id]
+		if !ok {
+			return
+		}
+		delete(b.running, id)
+		b.completed++
+		b.done = append(b.done, FinishedItem{
+			Name: it.name,
+			MS:   float64(time.Since(it.started).Nanoseconds()) / 1e6,
+		})
+		if len(b.done) > progressRecent {
+			b.done = b.done[len(b.done)-progressRecent:]
+		}
+	}
+}
+
+// ProgressSnapshot returns the board's current state: in-flight work
+// longest-running first, plus the tail of recently finished items.
+func ProgressSnapshot() ProgressView {
+	b := &progressBoard
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	v := ProgressView{
+		Running:   make([]RunningItem, 0, len(b.running)),
+		Completed: b.completed,
+	}
+	now := time.Now()
+	for _, it := range b.running {
+		v.Running = append(v.Running, RunningItem{
+			Name:      it.name,
+			ElapsedMS: float64(now.Sub(it.started).Nanoseconds()) / 1e6,
+		})
+	}
+	slices.SortFunc(v.Running, func(a, b RunningItem) int {
+		if a.ElapsedMS != b.ElapsedMS {
+			return cmp.Compare(b.ElapsedMS, a.ElapsedMS)
+		}
+		return cmp.Compare(a.Name, b.Name)
+	})
+	v.Recent = append(v.Recent, b.done...)
+	return v
+}

@@ -2,15 +2,20 @@ package par
 
 import (
 	"sync"
+	"time"
 
 	"repro/internal/obs"
 )
 
 // Cache hit/miss counters, aggregated across every Cache instance (the
-// experiment Env's matrix/grid/estimate/run caches all report here).
+// experiment Env's matrix/grid/estimate/run caches all report here), plus
+// the Get latency histogram: hit lookups measure singleflight wait time
+// (instant on a settled key, a whole build when coalesced onto a flight),
+// miss lookups measure the build itself. Recorded only under DeepTiming.
 var (
-	cacheHits   = obs.NewCounter("par.cache.hits")
-	cacheMisses = obs.NewCounter("par.cache.misses")
+	cacheHits    = obs.NewCounter("par.cache.hits")
+	cacheMisses  = obs.NewCounter("par.cache.misses")
+	cacheLatency = obs.NewHistogram("par.cache.get.ns")
 )
 
 // Cache is a per-key singleflight memo. The first Get for a key runs build
@@ -39,6 +44,10 @@ type flight[V any] struct {
 // Get returns the cached value for key, building it with build on the
 // first call. Concurrent callers for the same key share one build.
 func (c *Cache[K, V]) Get(key K, build func() (V, error)) (V, error) {
+	var t0 time.Time
+	if obs.DeepTiming() {
+		t0 = time.Now()
+	}
 	c.mu.Lock()
 	if c.m == nil {
 		c.m = map[K]*flight[V]{}
@@ -47,6 +56,9 @@ func (c *Cache[K, V]) Get(key K, build func() (V, error)) (V, error) {
 		c.mu.Unlock()
 		cacheHits.Inc()
 		<-f.done
+		if !t0.IsZero() {
+			cacheLatency.ObserveSince(t0)
+		}
 		return f.val, f.err
 	}
 	f := &flight[V]{done: make(chan struct{})}
@@ -56,5 +68,8 @@ func (c *Cache[K, V]) Get(key K, build func() (V, error)) (V, error) {
 
 	f.val, f.err = build()
 	close(f.done)
+	if !t0.IsZero() {
+		cacheLatency.ObserveSince(t0)
+	}
 	return f.val, f.err
 }

@@ -15,6 +15,7 @@ package par
 
 import (
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -28,6 +29,33 @@ var (
 	poolSpawned = obs.NewCounter("par.pool.spawned")
 	poolDepth   = obs.NewGauge("par.pool.depth")
 )
+
+// timeline is the pool's optional event recorder. When set, every fan-out
+// records an enqueue instant, each participant (the caller and any extra
+// goroutines) records the wall-clock slice it spent draining items, and
+// acquire/release sample the extra-goroutine depth. A nil timeline costs
+// one atomic load per fan-out.
+var timeline atomic.Pointer[obs.Timeline]
+
+// SetTimeline attaches (or, with nil, detaches) the event recorder the
+// pool reports to. Safe to call while fan-outs are running: in-flight
+// participants keep the recorder they started with.
+func SetTimeline(tl *obs.Timeline) { timeline.Store(tl) }
+
+// poolTrack is the timeline row carrying pool-wide events (enqueues and
+// depth samples); participant slices land on per-slot rows.
+const poolTrack = "par/pool"
+
+// sampleDepth records the extra-goroutine level after an acquire/release.
+func sampleDepth(tl *obs.Timeline, depth int32) {
+	if tl == nil {
+		return
+	}
+	tl.Append(obs.Event{
+		TS: tl.Now(), Track: tl.TrackID(poolTrack), Name: -1,
+		Kind: obs.EvQueueDepth, Value: float64(depth),
+	})
+}
 
 // override holds the SetWorkers value; 0 means "use GOMAXPROCS".
 var override atomic.Int32
@@ -56,21 +84,28 @@ func SetWorkers(n int) int {
 	return int(override.Swap(int32(n)))
 }
 
-func tryAcquire() bool {
+// tryAcquire claims one extra-goroutine slot, returning its 1-based index
+// (the depth after the claim) for timeline labeling.
+func tryAcquire() (int32, bool) {
 	for {
 		cur := extra.Load()
 		if cur >= int32(Workers()-1) {
-			return false
+			return 0, false
 		}
 		if extra.CompareAndSwap(cur, cur+1) {
 			poolSpawned.Inc()
 			poolDepth.Set(int64(cur + 1))
-			return true
+			sampleDepth(timeline.Load(), cur+1)
+			return cur + 1, true
 		}
 	}
 }
 
-func release() { poolDepth.Set(int64(extra.Add(-1))) }
+func release() {
+	after := extra.Add(-1)
+	poolDepth.Set(int64(after))
+	sampleDepth(timeline.Load(), after)
+}
 
 // ForEach runs fn(i) for every i in [0, n), fanning out over the worker
 // pool. It returns once every call has completed. With a pool size of 1
@@ -79,26 +114,46 @@ func ForEach(n int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
+	tl := timeline.Load()
+	if tl != nil {
+		tl.Append(obs.Event{
+			TS: tl.Now(), Track: tl.TrackID(poolTrack), Name: -1,
+			Kind: obs.EvTaskEnqueue, Arg: int64(n),
+		})
+	}
 	var next atomic.Int64
-	work := func() {
+	work := func(slot string) {
+		t0 := tl.Now()
+		drained := 0
 		for {
 			i := int(next.Add(1)) - 1
 			if i >= n {
-				return
+				break
 			}
 			fn(i)
+			drained++
+		}
+		if tl != nil {
+			tl.Append(obs.Event{
+				TS: t0, Dur: tl.Now() - t0, Track: tl.TrackID("par/" + slot), Name: -1,
+				Kind: obs.EvTaskRun, Arg: int64(drained),
+			})
 		}
 	}
 	var wg sync.WaitGroup
-	for spawned := 0; spawned < n-1 && tryAcquire(); spawned++ {
+	for spawned := 0; spawned < n-1; spawned++ {
+		slot, ok := tryAcquire()
+		if !ok {
+			break
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			defer release()
-			work()
+			work("w" + strconv.Itoa(int(slot)))
 		}()
 	}
-	work()
+	work("caller")
 	wg.Wait()
 }
 

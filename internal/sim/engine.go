@@ -107,6 +107,11 @@ type engine struct {
 	// whole simulations both ways and require bit-identical outcomes.
 	naiveAlloc bool
 
+	// deep is the optional timeline/deep-timing scratch (see timeline.go).
+	// nil in normal runs; its buffers are sized at attach time, so traced
+	// steps are as allocation-free as untraced ones.
+	deep *engineDeep
+
 	// Allocation scratch, reused every round. Claimants are gathered in
 	// ascending worker order, so each pool's claimants form one contiguous
 	// range of claimIdx/claimCap — per-pool link caps are applied to that
@@ -179,20 +184,31 @@ func newEngine(pools []*pool, totalBW float64) (*engine, error) {
 // runEngine simulates the pools sharing totalBW of memory bandwidth and
 // returns the makespan plus per-pool statistics.
 func runEngine(pools []*pool, totalBW float64) (float64, []poolStats, error) {
-	return runEngineTraced(pools, totalBW, nil)
+	return runEngineObserved(pools, totalBW, nil, nil)
 }
 
 // runEngineTraced is runEngine with an optional bandwidth-timeline tracer.
 func runEngineTraced(pools []*pool, totalBW float64, tr *tracer) (float64, []poolStats, error) {
+	return runEngineObserved(pools, totalBW, tr, nil)
+}
+
+// runEngineObserved is the full-observability entry point: tr records the
+// aggregate bandwidth timeline (Result.Trace), deep records per-worker
+// timeline events and the step-width histogram. Either may be nil.
+func runEngineObserved(pools []*pool, totalBW float64, tr *tracer, deep *engineDeep) (float64, []poolStats, error) {
 	e, err := newEngine(pools, totalBW)
 	if err != nil {
 		return 0, nil, err
 	}
+	e.deep = deep
 	engineRuns.Inc()
 	for _, p := range pools {
 		engineUnits.Add(int64(len(p.units)))
 	}
-	defer func() { engineSteps.Add(e.steps) }()
+	defer func() {
+		engineSteps.Add(e.steps)
+		e.deep.finish()
+	}()
 	for e.step(tr) {
 	}
 	return e.now, e.stats, nil
@@ -204,11 +220,18 @@ func (e *engine) step(tr *tracer) bool {
 	if len(e.active) == 0 {
 		return false
 	}
+	d := e.deep
+	realloc := false
 	if e.naiveAlloc {
 		allocateNaive(e.workers, e.pools, e.totalBW)
+		realloc = true
 	} else if !e.allocValid {
 		e.allocate()
 		e.allocValid = true
+		realloc = true
+	}
+	if realloc && d != nil {
+		d.sampleGrants(e)
 	}
 
 	// Earliest next counter completion among the active workers.
@@ -230,6 +253,11 @@ func (e *engine) step(tr *tracer) bool {
 		dt = 0
 	}
 	tr.record(e.now, dt, e)
+	var acc []float64 // per-worker byte accumulation, nil unless a timeline is attached
+	if d != nil {
+		d.stepWidth.Observe(simNS(dt))
+		acc = d.bytesAcc
+	}
 
 	e.steps++
 	e.now += dt
@@ -248,6 +276,9 @@ func (e *engine) step(tr *tracer) bool {
 				moved = w.remB
 			}
 			e.stats[w.pool].Bytes += moved
+			if acc != nil {
+				acc[wi] += moved
+			}
 			w.remB -= moved
 			if w.remB < timeEps*w.grant || w.remB < 1e-9 {
 				w.remB = 0
@@ -267,6 +298,9 @@ func (e *engine) step(tr *tracer) bool {
 			}
 			// Unit drained; record pool progress and fetch the next one.
 			e.stats[w.pool].Elapsed = e.now
+			if d != nil {
+				d.unitDone(int(wi), w.unitIdx, e.now)
+			}
 			if e.next[w.pool] < len(p.units) {
 				w.unitIdx = e.next[w.pool]
 				e.next[w.pool]++
@@ -277,6 +311,9 @@ func (e *engine) step(tr *tracer) bool {
 				w.unitIdx = -1
 				w.grant = 0
 				idled = true
+				if d != nil {
+					d.idle(int(wi), e.now)
+				}
 			}
 		}
 	}

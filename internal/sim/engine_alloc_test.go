@@ -3,6 +3,8 @@ package sim
 import (
 	"math/rand"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 // TestEngineStepAllocs pins the tentpole invariant: once an engine is
@@ -28,6 +30,31 @@ func TestEngineStepAllocs(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("engine step allocated %v times per run, want 0", allocs)
+	}
+}
+
+// TestEngineStepAllocsTraced extends the zero-alloc pin to a fully
+// observed step: timeline events land in the engineDeep buffer sized at
+// attach time (dropping, never growing, past its capacity) and the
+// step-width histogram accumulates into a LocalHist, so enabling -timeline
+// does not reintroduce per-step allocation.
+func TestEngineStepAllocsTraced(t *testing.T) {
+	pools := benchEnginePools()
+	e, err := newEngine(pools, 150e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.deep = newEngineDeep(obs.NewTimeline(1024), "alloc-test", pools)
+	for i := 0; i < 32; i++ {
+		if !e.step(nil) {
+			t.Fatal("workload drained during warm-up; enlarge the bench pools")
+		}
+	}
+	allocs := testing.AllocsPerRun(400, func() {
+		e.step(nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("traced engine step allocated %v times per run, want 0", allocs)
 	}
 }
 

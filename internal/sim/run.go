@@ -6,6 +6,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/dense"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/semiring"
 	"repro/internal/tile"
 )
@@ -27,6 +28,13 @@ type Options struct {
 	Kernel model.Kernel
 	// Trace records the bandwidth timeline into Result.Trace.
 	Trace bool
+	// Timeline, when non-nil, records per-worker events (unit slices on the
+	// simulated clock, idle instants, bandwidth-grant samples) onto the
+	// timeline. TimelineLabel prefixes the per-worker track names so a sweep
+	// keeps its runs apart. Independently, when obs.DeepTiming is on the run
+	// feeds the sim.step.dt.ns histogram even without a timeline.
+	Timeline      *obs.Timeline
+	TimelineLabel string
 }
 
 // Result reports one simulated execution.
@@ -149,13 +157,24 @@ func Run(g *tile.Grid, hot []bool, a *arch.Arch, din *dense.Matrix, opts Options
 	if opts.Trace {
 		trCold, trHot, trBoth = &tracer{}, &tracer{}, &tracer{}
 	}
+	deepOn := opts.Timeline != nil || obs.DeepTiming()
 	if opts.Serial {
 		// Cold pool first, then hot, each with the full memory system.
-		tCold, sCold, err := runEngineTraced([]*pool{coldPool}, a.BWBytes, trCold)
+		var dCold, dHot *engineDeep
+		if deepOn {
+			dCold = newEngineDeep(opts.Timeline, opts.TimelineLabel, []*pool{coldPool})
+		}
+		tCold, sCold, err := runEngineObserved([]*pool{coldPool}, a.BWBytes, trCold, dCold)
 		if err != nil {
 			return nil, err
 		}
-		tHot, sHot, err := runEngineTraced([]*pool{hotPool}, a.BWBytes, trHot)
+		if deepOn {
+			// The hot leg starts where the cold leg ended on the shared
+			// serial clock.
+			dHot = newEngineDeep(opts.Timeline, opts.TimelineLabel, []*pool{hotPool})
+			dHot.baseNS = simNS(tCold)
+		}
+		tHot, sHot, err := runEngineObserved([]*pool{hotPool}, a.BWBytes, trHot, dHot)
 		if err != nil {
 			return nil, err
 		}
@@ -176,7 +195,11 @@ func Run(g *tile.Grid, hot []bool, a *arch.Arch, din *dense.Matrix, opts Options
 			}
 		}
 	} else {
-		t, stats, err := runEngineTraced([]*pool{coldPool, hotPool}, a.BWBytes, trBoth)
+		var dBoth *engineDeep
+		if deepOn {
+			dBoth = newEngineDeep(opts.Timeline, opts.TimelineLabel, []*pool{coldPool, hotPool})
+		}
+		t, stats, err := runEngineObserved([]*pool{coldPool, hotPool}, a.BWBytes, trBoth, dBoth)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/obs"
+)
+
+// TestEngineTimelineEvents runs the bench workload with a timeline
+// attached and checks the recorded per-worker events are self-consistent:
+// every unit produces one EvWorkerRun, the run slices' byte payloads sum
+// to the engine's reported traffic, every worker idles exactly once, and
+// event timestamps never exceed the makespan.
+func TestEngineTimelineEvents(t *testing.T) {
+	pools := benchEnginePools()
+	tl := obs.NewTimeline(0)
+	deep := newEngineDeep(tl, "run", pools)
+	makespan, stats, err := runEngineObserved(pools, 150e9, nil, deep)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	units := 0
+	for _, p := range pools {
+		units += len(p.units)
+	}
+	workers := 0
+	for _, p := range pools {
+		workers += p.workers
+	}
+
+	runs, idles, grants := 0, 0, 0
+	bytes := 0.0
+	endNS := simNS(makespan)
+	for _, ev := range tl.Events() {
+		if ev.TS < 0 || ev.TS+ev.Dur > endNS+1 {
+			t.Fatalf("event %+v outside [0, %d]", ev, endNS)
+		}
+		switch ev.Kind {
+		case obs.EvWorkerRun:
+			runs++
+			bytes += ev.Value
+			if ev.Dur <= 0 {
+				t.Fatalf("unit slice with non-positive duration: %+v", ev)
+			}
+		case obs.EvWorkerIdle:
+			idles++
+		case obs.EvGrant:
+			grants++
+		default:
+			t.Fatalf("unexpected event kind %d from a sim run", ev.Kind)
+		}
+	}
+	if runs != units {
+		t.Fatalf("recorded %d unit slices, want %d", runs, units)
+	}
+	if idles != workers {
+		t.Fatalf("recorded %d idle instants, want %d (one per worker)", idles, workers)
+	}
+	if grants == 0 {
+		t.Fatal("no grant samples recorded on a bandwidth-saturated run")
+	}
+	total := 0.0
+	for _, s := range stats {
+		total += s.Bytes
+	}
+	if diff := bytes - total; diff > 1 || diff < -1 {
+		t.Fatalf("unit slice bytes sum %g != engine traffic %g", bytes, total)
+	}
+	if stepWidthHist.Count() == 0 {
+		t.Fatal("step-width histogram recorded nothing")
+	}
+}
+
+// TestEngineTimelineDropsNotGrows overflows the preallocated event buffer
+// (capacity math sized for the real run is bypassed with a tiny buffer)
+// and checks the engine drops the excess instead of growing — the
+// guarantee behind the traced zero-alloc pin.
+func TestEngineTimelineDropsNotGrows(t *testing.T) {
+	pools := benchEnginePools()
+	tl := obs.NewTimeline(0)
+	deep := newEngineDeep(tl, "drop", pools)
+	deep.events = deep.events[:0:8] // shrink capacity under the event count
+	if _, _, err := runEngineObserved(pools, 150e9, nil, deep); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tl.Events()); got != 8 {
+		t.Fatalf("flushed %d events, want exactly the buffer capacity 8", got)
+	}
+	if timelineDropped.Load() == 0 {
+		t.Fatal("sim.timeline.dropped not bumped on overflow")
+	}
+}
+
+// TestRunWithTimeline drives the public sim.Run path with a timeline and
+// checks both serial and parallel modes produce worker tracks under the
+// caller's label, with the serial hot leg offset onto the shared clock.
+func TestRunWithTimeline(t *testing.T) {
+	a := scaledArch(arch.SpadeSextans(4), 64)
+	g, res0, _ := testSetup(t, &a, 1)
+	for _, serial := range []bool{false, true} {
+		tl := obs.NewTimeline(0)
+		res, err := Run(g, res0.Hot, &a, nil, Options{
+			Serial:         serial,
+			SkipFunctional: true,
+			Timeline:       tl,
+			TimelineLabel:  "fixture",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		evs := tl.Events()
+		if len(evs) == 0 {
+			t.Fatalf("serial=%v: no timeline events", serial)
+		}
+		endNS := simNS(res.Time)
+		for _, ev := range evs {
+			if ev.TS+ev.Dur > endNS+1 {
+				t.Fatalf("serial=%v: event %+v beyond makespan %d", serial, ev, endNS)
+			}
+		}
+	}
+}
+
+// BenchmarkEngineTimeline is BenchmarkEngine with the full deep-
+// observability layer attached: per-worker event recording plus the
+// step-width histogram. Compared against BenchmarkEngine it bounds the
+// tracing overhead (the issue budget is 5%).
+func BenchmarkEngineTimeline(b *testing.B) {
+	pools := benchEnginePools()
+	tl := obs.NewTimeline(0)
+	deep := newEngineDeep(tl, "bench", pools)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		deep.reset()
+		if _, _, err := runEngineObserved(pools, 150e9, nil, deep); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
