@@ -16,9 +16,9 @@ COVER_FLOOR     = 60
 # Seconds of coverage-guided fuzzing per fuzzer in `make fuzz`.
 FUZZTIME ?= 10s
 
-.PHONY: help ci vet fmtcheck build lint shadow test race bench benchsmoke benchcmp cover fuzz golden
+.PHONY: help ci vet fmtcheck build lint shadow test race bench benchsmoke benchcmp cover fuzz golden servesmoke
 
-ci: vet fmtcheck build lint shadow race cover benchsmoke benchcmp
+ci: vet fmtcheck build lint shadow race cover benchsmoke benchcmp servesmoke
 
 help:
 	@echo "make ci          - full gate: vet, fmtcheck, build, lint, shadow, race, cover, benchsmoke"
@@ -33,6 +33,7 @@ help:
 	@echo "make cover       - coverage with per-package floor"
 	@echo "make fuzz        - short coverage-guided fuzz pass (FUZZTIME=$(FUZZTIME))"
 	@echo "make golden      - regenerate pinned experiment outputs (review the diff!)"
+	@echo "make servesmoke  - end-to-end hottilesd daemon smoke (real port, SIGTERM drain)"
 
 vet:
 	$(GO) vet ./...
@@ -129,6 +130,21 @@ cover:
 fuzz:
 	$(GO) test -fuzz=FuzzRead -fuzztime=$(FUZZTIME) ./internal/mm
 	$(GO) test -fuzz=FuzzCOOToCSR -fuzztime=$(FUZZTIME) ./internal/sparse
+	$(GO) test -fuzz=FuzzReadPlan -fuzztime=$(FUZZTIME) ./internal/hotcore
+
+# servesmoke exercises the hottilesd daemon end to end through real
+# processes: ephemeral port, planload's upload→fetch→validate round trip, a
+# small concurrent burst, and a SIGTERM that must drain cleanly.
+bin/hottilesd: FORCE
+	@mkdir -p bin
+	$(GO) build -o bin/hottilesd ./cmd/hottilesd
+
+bin/planload: FORCE
+	@mkdir -p bin
+	$(GO) build -o bin/planload ./cmd/planload
+
+servesmoke: bin/hottilesd bin/planload
+	sh scripts/servesmoke.sh
 
 # golden regenerates the pinned experiment outputs after an intentional
 # change (review the diff before committing).

@@ -14,7 +14,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	hottiles "repro"
 	"repro/internal/obs"
@@ -84,7 +83,7 @@ func main() {
 		tr.SetConfig("ops", fmt.Sprint(*opsPerMAC))
 	}
 
-	a, err := parseArch(*archName)
+	a, err := hottiles.ParseArch(*archName)
 	if err != nil {
 		fail(err)
 	}
@@ -95,7 +94,7 @@ func main() {
 		a.K = *k
 	}
 
-	strat, err := parseStrategy(*strategy)
+	strat, err := hottiles.ParseStrategy(*strategy)
 	if err != nil {
 		fail(err)
 	}
@@ -114,7 +113,7 @@ func main() {
 	readSp.End()
 	fmt.Printf("matrix: %d rows, %d nonzeros, density %.2e\n", m.N, m.NNZ(), m.Density())
 
-	kernel, err := parseKernel(*kernelName)
+	kernel, err := hottiles.ParseKernel(*kernelName)
 	if err != nil {
 		fail(err)
 	}
@@ -380,55 +379,6 @@ func writeSection(path string, m *sparse.COO) error {
 	}
 	defer f.Close()
 	return hottiles.WriteMatrixMarket(f, m)
-}
-
-func parseArch(name string) (hottiles.Arch, error) {
-	switch {
-	case name == "piuma":
-		return hottiles.PIUMA(), nil
-	case name == "cpu-dsa":
-		return hottiles.CPUDSA(), nil
-	case name == "spade-sextans-pcie":
-		return hottiles.SpadeSextansPCIe(), nil
-	case strings.HasPrefix(name, "spade-sextans"):
-		scale := 4
-		if i := strings.IndexByte(name, ':'); i >= 0 {
-			if _, err := fmt.Sscanf(name[i+1:], "%d", &scale); err != nil {
-				return hottiles.Arch{}, fmt.Errorf("bad scale in %q", name)
-			}
-		}
-		return hottiles.SpadeSextans(scale), nil
-	default:
-		return hottiles.Arch{}, fmt.Errorf("unknown architecture %q", name)
-	}
-}
-
-func parseStrategy(s string) (hottiles.Strategy, error) {
-	switch strings.ToLower(s) {
-	case "hottiles":
-		return hottiles.StrategyHotTiles, nil
-	case "iunaware":
-		return hottiles.StrategyIUnaware, nil
-	case "hotonly":
-		return hottiles.StrategyHotOnly, nil
-	case "coldonly":
-		return hottiles.StrategyColdOnly, nil
-	default:
-		return 0, fmt.Errorf("unknown strategy %q", s)
-	}
-}
-
-func parseKernel(s string) (hottiles.Kernel, error) {
-	switch strings.ToLower(s) {
-	case "spmm":
-		return hottiles.KernelSpMM, nil
-	case "spmv":
-		return hottiles.KernelSpMV, nil
-	case "sddmm":
-		return hottiles.KernelSDDMM, nil
-	default:
-		return 0, fmt.Errorf("unknown kernel %q", s)
-	}
 }
 
 func fail(err error) {

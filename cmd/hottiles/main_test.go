@@ -7,26 +7,26 @@ import (
 )
 
 func TestParseArch(t *testing.T) {
-	a, err := parseArch("piuma")
+	a, err := hottiles.ParseArch("piuma")
 	if err != nil || a.Name != "PIUMA" {
 		t.Fatalf("piuma: %v %s", err, a.Name)
 	}
-	a, err = parseArch("spade-sextans")
+	a, err = hottiles.ParseArch("spade-sextans")
 	if err != nil || a.Cold.Count != 16 {
 		t.Fatalf("default scale: %v %d", err, a.Cold.Count)
 	}
-	a, err = parseArch("spade-sextans:8")
+	a, err = hottiles.ParseArch("spade-sextans:8")
 	if err != nil || a.Cold.Count != 32 {
 		t.Fatalf("scale 8: %v %d", err, a.Cold.Count)
 	}
-	if _, err := parseArch("spade-sextans:x"); err == nil {
+	if _, err := hottiles.ParseArch("spade-sextans:x"); err == nil {
 		t.Fatal("expected bad-scale error")
 	}
-	a, err = parseArch("spade-sextans-pcie")
+	a, err = hottiles.ParseArch("spade-sextans-pcie")
 	if err != nil || a.Hot.NNZPerCycle != 20 {
 		t.Fatalf("pcie: %v", err)
 	}
-	if _, err := parseArch("tpu"); err == nil {
+	if _, err := hottiles.ParseArch("tpu"); err == nil {
 		t.Fatal("expected unknown-arch error")
 	}
 }
@@ -39,12 +39,12 @@ func TestParseStrategy(t *testing.T) {
 		"coldonly": hottiles.StrategyColdOnly,
 	}
 	for in, want := range cases {
-		got, err := parseStrategy(in)
+		got, err := hottiles.ParseStrategy(in)
 		if err != nil || got != want {
 			t.Fatalf("%s: %v %v", in, got, err)
 		}
 	}
-	if _, err := parseStrategy("magic"); err == nil {
+	if _, err := hottiles.ParseStrategy("magic"); err == nil {
 		t.Fatal("expected unknown-strategy error")
 	}
 }
@@ -54,18 +54,18 @@ func TestParseKernel(t *testing.T) {
 		"spmm": hottiles.KernelSpMM, "SpMV": hottiles.KernelSpMV, "SDDMM": hottiles.KernelSDDMM,
 	}
 	for in, want := range cases {
-		got, err := parseKernel(in)
+		got, err := hottiles.ParseKernel(in)
 		if err != nil || got != want {
 			t.Fatalf("%s: %v %v", in, got, err)
 		}
 	}
-	if _, err := parseKernel("gemm"); err == nil {
+	if _, err := hottiles.ParseKernel("gemm"); err == nil {
 		t.Fatal("expected unknown-kernel error")
 	}
 }
 
 func TestParseArchCPUDSA(t *testing.T) {
-	a, err := parseArch("cpu-dsa")
+	a, err := hottiles.ParseArch("cpu-dsa")
 	if err != nil || a.Name != "CPU+DSA" {
 		t.Fatalf("cpu-dsa: %v %s", err, a.Name)
 	}

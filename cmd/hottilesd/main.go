@@ -1,0 +1,125 @@
+// Command hottilesd is the plan-serving daemon: it accepts MatrixMarket
+// uploads over HTTP, runs the HotTiles preprocessing pipeline (scan →
+// model → partition → format generation) once per distinct matrix+config,
+// and serves the serialized plan from a content-addressed cache. The
+// paper's train-once/infer-many workflow (§VI-B) as a service: the first
+// upload pays for preprocessing, every identical upload — concurrent or
+// later — gets the cached plan.
+//
+// Endpoints (one mux, one port):
+//
+//	POST /plan         MatrixMarket body → gob plan (X-Plan-Hash header)
+//	GET  /plan/{hash}  fetch a cached plan by content hash (404 if absent)
+//	GET  /healthz      liveness + store counters, JSON
+//	GET  /metrics      obs registry, Prometheus text exposition
+//	GET  /progress     running fan-out, JSON
+//	GET  /debug/pprof  standard Go profiling
+//
+// Overload is refused, not buffered: past -max-active concurrent builds
+// and a -max-queue wait line, POST /plan answers 429 with a Retry-After
+// estimate. SIGINT/SIGTERM drains in-flight requests before exiting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	hottiles "repro"
+	"repro/internal/obs"
+	"repro/internal/planstore"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8321", "listen address (port 0 picks a free port)")
+	archName := flag.String("arch", "spade-sextans:4",
+		"architecture: spade-sextans[:scale], spade-sextans-pcie, piuma, cpu-dsa")
+	strategy := flag.String("strategy", "hottiles", "hottiles|iunaware|hotonly|coldonly")
+	kernelName := flag.String("kernel", "spmm", "kernel: spmm|spmv|sddmm")
+	tileSize := flag.Int("tile", 0, "tile size override (0 = architecture default)")
+	opsPerMAC := flag.Float64("ops", 2, "arithmetic-intensity factor (2 = plain SpMM)")
+	seed := flag.Int64("seed", 1, "seed for IUnaware's random assignment")
+	storeDir := flag.String("store-dir", "", "spill built plans to this directory (survives restarts)")
+	cacheBytes := flag.Int64("cache-bytes", 256<<20, "in-memory plan cache budget")
+	maxActive := flag.Int("max-active", 1, "concurrent preprocessing builds")
+	maxQueue := flag.Int("max-queue", 64, "builds waiting for a slot before 429 (negative: no queue)")
+	reqTimeout := flag.Duration("request-timeout", 60*time.Second, "per-request preprocessing deadline")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "shutdown drain deadline for in-flight requests")
+	maxUpload := flag.Int64("max-upload-bytes", 256<<20, "largest accepted MatrixMarket upload")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: hottilesd [flags]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	cfg := config{
+		archName:   *archName,
+		stratName:  *strategy,
+		kernelName: *kernelName,
+		opsPerMAC:  *opsPerMAC,
+		seed:       *seed,
+		maxUpload:  *maxUpload,
+		reqTimeout: *reqTimeout,
+		store: planstore.Config{
+			Dir:       *storeDir,
+			MaxBytes:  *cacheBytes,
+			MaxActive: *maxActive,
+			MaxQueue:  *maxQueue,
+		},
+	}
+	var err error
+	if cfg.arch, err = hottiles.ParseArch(*archName); err != nil {
+		fail(err)
+	}
+	if *tileSize > 0 {
+		cfg.arch.TileH, cfg.arch.TileW = *tileSize, *tileSize
+	}
+	if cfg.strategy, err = hottiles.ParseStrategy(*strategy); err != nil {
+		fail(err)
+	}
+	if cfg.kernel, err = hottiles.ParseKernel(*kernelName); err != nil {
+		fail(err)
+	}
+
+	s, err := newServer(cfg)
+	if err != nil {
+		fail(err)
+	}
+	// The daemon always has its debug plane attached, so keep the
+	// hot-loop timing observations on: a /metrics scrape should see the
+	// pipeline's histograms populated.
+	obs.SetDeepTiming(true)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	srv := &http.Server{Handler: s.mux}
+	// The accept loop outlives any single fan-out and terminates with
+	// the listener — like obs.ServeDebug's, it cannot run on the bounded
+	// task pool, so cmd/hottilesd is nakedgo-allowlisted.
+	go srv.Serve(ln)
+	fmt.Fprintf(os.Stderr, "hottilesd: listening on http://%s (arch %s, strategy %s)\n",
+		ln.Addr(), cfg.archName, cfg.stratName)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	got := <-sig
+	fmt.Fprintf(os.Stderr, "hottilesd: %v, draining (up to %v)\n", got, *drainTimeout)
+	if err := obs.GracefulStop(srv, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "hottilesd:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "hottilesd: drained, bye")
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "hottilesd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,220 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	hottiles "repro"
+	"repro/internal/obs"
+	"repro/internal/planstore"
+)
+
+// Daemon-plane observability, served by the same process on /metrics.
+var (
+	planRequests = obs.NewCounter("hottilesd.plan.requests")
+	planBusy     = obs.NewCounter("hottilesd.plan.busy")
+	planErrors   = obs.NewCounter("hottilesd.plan.errors")
+	planLatency  = obs.NewHistogram("hottilesd.plan.ns")
+)
+
+// config fixes the daemon's pipeline parameters. The preprocessing
+// configuration is part of every plan's identity: the content hash covers
+// it, so a daemon restarted with a different architecture never serves a
+// stale plan built under the old one.
+type config struct {
+	archName   string
+	arch       hottiles.Arch
+	stratName  string
+	strategy   hottiles.Strategy
+	kernelName string
+	kernel     hottiles.Kernel
+	opsPerMAC  float64
+	seed       int64
+
+	maxUpload  int64
+	reqTimeout time.Duration
+	store      planstore.Config
+}
+
+// server routes the plan API and the PR-5 debug plane on one mux.
+type server struct {
+	cfg   config
+	store *planstore.Store
+	mux   *http.ServeMux
+
+	// buildHook, when non-nil, runs at the start of every plan build.
+	// Tests use it to hold builds open so admission-control behavior
+	// (queue overflow, coalescing, drain) is deterministic.
+	buildHook func()
+}
+
+// newServer wires the plan routes onto the observability mux, so one
+// listener serves plans, /metrics, /progress and pprof together.
+func newServer(cfg config) (*server, error) {
+	store, err := planstore.New(cfg.store)
+	if err != nil {
+		return nil, err
+	}
+	s := &server{cfg: cfg, store: store}
+	mux := obs.DebugMux()
+	mux.HandleFunc("POST /plan", s.handleBuildPlan)
+	mux.HandleFunc("GET /plan/{hash}", s.handleGetPlan)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux = mux
+	return s, nil
+}
+
+// planHash is the content address of a plan: the preprocessing
+// configuration followed by the exact MatrixMarket bytes. Two uploads of
+// the same file under the same daemon configuration always collapse onto
+// one cache entry (and one in-flight build).
+func (s *server) planHash(matrix []byte) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "arch=%s tile=%dx%d k=%d strategy=%s kernel=%s ops=%g seed=%d\n",
+		s.cfg.archName, s.cfg.arch.TileH, s.cfg.arch.TileW, s.cfg.arch.K,
+		s.cfg.stratName, s.cfg.kernelName, s.cfg.opsPerMAC, s.cfg.seed)
+	h.Write(matrix)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// errBadMatrix marks failures caused by the uploaded bytes (parse or
+// validation), which map to 400 rather than 500.
+type errBadMatrix struct{ err error }
+
+func (e errBadMatrix) Error() string { return e.err.Error() }
+func (e errBadMatrix) Unwrap() error { return e.err }
+
+// buildPlan runs the full pipeline for one upload: parse the matrix, run
+// scan → model → partition → format generation with ctx threaded through
+// the stage boundaries, and serialize the plan to its wire form.
+func (s *server) buildPlan(ctx context.Context, matrix []byte) ([]byte, error) {
+	if s.buildHook != nil {
+		s.buildHook()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	m, err := hottiles.ReadMatrixMarket(bytes.NewReader(matrix))
+	if err != nil {
+		return nil, errBadMatrix{err}
+	}
+	a := s.cfg.arch
+	plan, err := hottiles.PartitionCtx(ctx, m, &a, hottiles.PartitionOptions{
+		Strategy:  s.cfg.strategy,
+		OpsPerMAC: s.cfg.opsPerMAC,
+		Kernel:    s.cfg.kernel,
+		Seed:      s.cfg.seed,
+	})
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, err
+		}
+		return nil, errBadMatrix{err}
+	}
+	var buf bytes.Buffer
+	if err := hottiles.WritePlan(&buf, plan); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// handleBuildPlan is POST /plan: upload a MatrixMarket body, get the gob
+// plan back. Identical in-flight uploads share one pipeline run; overload
+// is refused with 429 and a Retry-After estimate instead of queueing
+// without bound.
+func (s *server) handleBuildPlan(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	planRequests.Inc()
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.maxUpload))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, fmt.Sprintf("hottilesd: upload exceeds %d bytes", s.cfg.maxUpload),
+				http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, "hottilesd: reading upload: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	hash := s.planHash(body)
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.reqTimeout)
+	defer cancel()
+	plan, err := s.store.Get(ctx, hash, func(ctx context.Context) ([]byte, error) {
+		return s.buildPlan(ctx, body)
+	})
+	if err != nil {
+		s.planError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-gob")
+	w.Header().Set("X-Plan-Hash", hash)
+	w.Header().Set("Content-Length", strconv.Itoa(len(plan)))
+	w.Write(plan)
+	planLatency.ObserveSince(t0)
+}
+
+// planError maps a pipeline or admission failure onto its status code.
+func (s *server) planError(w http.ResponseWriter, err error) {
+	planErrors.Inc()
+	switch {
+	case errors.Is(err, planstore.ErrBusy):
+		planBusy.Inc()
+		retry := int(math.Ceil(s.store.RetryAfter().Seconds()))
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		http.Error(w, "hottilesd: preprocessing queue full, retry later",
+			http.StatusTooManyRequests)
+	case errors.Is(err, context.DeadlineExceeded):
+		http.Error(w, "hottilesd: preprocessing exceeded the request timeout",
+			http.StatusGatewayTimeout)
+	case errors.Is(err, context.Canceled):
+		// The client went away; nobody reads this response.
+		http.Error(w, "hottilesd: request canceled", http.StatusServiceUnavailable)
+	default:
+		var bad errBadMatrix
+		if errors.As(err, &bad) {
+			http.Error(w, "hottilesd: "+bad.Error(), http.StatusBadRequest)
+			return
+		}
+		http.Error(w, "hottilesd: "+err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// handleGetPlan is GET /plan/{hash}: fetch a previously built plan by its
+// content hash — the paper's train-once/infer-many flow (§VI-B) over HTTP.
+// It never triggers a build; an unknown hash is 404.
+func (s *server) handleGetPlan(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	plan, ok := s.store.Peek(hash)
+	if !ok {
+		http.Error(w, "hottilesd: no plan with hash "+hash, http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-gob")
+	w.Header().Set("X-Plan-Hash", hash)
+	w.Header().Set("Content-Length", strconv.Itoa(len(plan)))
+	w.Write(plan)
+}
+
+// handleHealthz reports liveness plus the store's counters, so a probe
+// (or a human with curl) sees queue pressure at a glance.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(struct {
+		Status string          `json:"status"`
+		Arch   string          `json:"arch"`
+		Store  planstore.Stats `json:"store"`
+	}{"ok", s.cfg.archName, s.store.Stats()})
+}

@@ -30,8 +30,10 @@
 package hottiles
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"strings"
 
 	"repro/internal/arch"
 	"repro/internal/calib"
@@ -267,3 +269,65 @@ func WritePlan(w io.Writer, p *Plan) error { return hotcore.WritePlan(w, p) }
 
 // ReadPlan loads a plan written by WritePlan, revalidating its invariants.
 func ReadPlan(r io.Reader) (*Plan, error) { return hotcore.ReadPlan(r) }
+
+// PartitionCtx is PartitionWith with context cancellation: the pipeline
+// checks ctx at each stage boundary, so a canceled caller (a timed-out
+// hottilesd request, an interrupted batch job) stops paying for the scan,
+// model, partition and format stages it no longer needs.
+func PartitionCtx(ctx context.Context, m *Matrix, a *Arch, o PartitionOptions) (*Plan, error) {
+	return hotcore.PreprocessCtx(ctx, m, a, o)
+}
+
+// ParseArch resolves the CLI spelling of an architecture preset:
+// "spade-sextans[:scale]", "spade-sextans-pcie", "piuma" or "cpu-dsa". The
+// hottiles CLI and the hottilesd daemon share this one vocabulary.
+func ParseArch(name string) (Arch, error) {
+	switch {
+	case name == "piuma":
+		return PIUMA(), nil
+	case name == "cpu-dsa":
+		return CPUDSA(), nil
+	case name == "spade-sextans-pcie":
+		return SpadeSextansPCIe(), nil
+	case strings.HasPrefix(name, "spade-sextans"):
+		scale := 4
+		if i := strings.IndexByte(name, ':'); i >= 0 {
+			if _, err := fmt.Sscanf(name[i+1:], "%d", &scale); err != nil {
+				return Arch{}, fmt.Errorf("hottiles: bad scale in %q", name)
+			}
+		}
+		return SpadeSextans(scale), nil
+	default:
+		return Arch{}, fmt.Errorf("hottiles: unknown architecture %q", name)
+	}
+}
+
+// ParseStrategy resolves the CLI spelling of a partitioning strategy.
+func ParseStrategy(s string) (Strategy, error) {
+	switch strings.ToLower(s) {
+	case "hottiles":
+		return StrategyHotTiles, nil
+	case "iunaware":
+		return StrategyIUnaware, nil
+	case "hotonly":
+		return StrategyHotOnly, nil
+	case "coldonly":
+		return StrategyColdOnly, nil
+	default:
+		return 0, fmt.Errorf("hottiles: unknown strategy %q", s)
+	}
+}
+
+// ParseKernel resolves the CLI spelling of a sparse kernel.
+func ParseKernel(s string) (Kernel, error) {
+	switch strings.ToLower(s) {
+	case "spmm":
+		return KernelSpMM, nil
+	case "spmv":
+		return KernelSpMV, nil
+	case "sddmm":
+		return KernelSDDMM, nil
+	default:
+		return 0, fmt.Errorf("hottiles: unknown kernel %q", s)
+	}
+}

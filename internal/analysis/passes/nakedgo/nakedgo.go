@@ -15,10 +15,12 @@ import (
 )
 
 // allowed lists the package path suffixes that may spawn goroutines: the
-// pool itself, and the observability layer's debug HTTP server (whose
-// accept-loop goroutine lives for the whole process and cannot run on a
-// bounded task pool).
-var allowed = []string{"internal/par", "internal/obs"}
+// pool itself, the observability layer's debug HTTP server, and the
+// hottilesd daemon — both own process-lifetime accept loops that must
+// outlive any single fan-out and terminate with their listener, a shape
+// the bounded task pool cannot express. The daemon's request handlers
+// still do all preprocessing work on the par pool.
+var allowed = []string{"internal/par", "internal/obs", "cmd/hottilesd"}
 
 // Analyzer is the nakedgo pass.
 var Analyzer = &analysis.Analyzer{

@@ -8,5 +8,6 @@ import (
 )
 
 func TestNakedGo(t *testing.T) {
-	analysistest.Run(t, "testdata", nakedgo.Analyzer, "work", "repro/internal/par", "repro/internal/obs")
+	analysistest.Run(t, "testdata", nakedgo.Analyzer, "work",
+		"repro/internal/par", "repro/internal/obs", "repro/cmd/hottilesd")
 }

@@ -1,0 +1,15 @@
+// Package hottilesd is the third nakedgo negative package: the daemon's
+// HTTP accept loop lives for the whole process and terminates with its
+// listener, so it runs as a raw goroutine off the bounded pool.
+package hottilesd
+
+// Serve mimics the daemon's accept-loop spawn; its go statement is
+// allowed.
+func Serve(accept func()) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		accept()
+		close(done)
+	}()
+	return func() { <-done }
+}

@@ -9,6 +9,7 @@
 package hotcore
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -141,6 +142,16 @@ func Preprocess(m *sparse.COO, a *arch.Arch, strategy Strategy, opsPerMAC float6
 
 // PreprocessOpts is Preprocess with full kernel control.
 func PreprocessOpts(m *sparse.COO, a *arch.Arch, o Options) (*Prep, error) {
+	return PreprocessCtx(context.Background(), m, a, o)
+}
+
+// PreprocessCtx is PreprocessOpts with cancellation: ctx is checked at
+// every stage boundary (scan, partition, each format generation), so a
+// caller-side timeout or a dropped daemon request abandons the pipeline
+// between stages rather than running it to completion. Cancellation
+// granularity is one stage — an individual stage, once started, runs to
+// its end on the par pool.
+func PreprocessCtx(ctx context.Context, m *sparse.COO, a *arch.Arch, o Options) (*Prep, error) {
 	if err := a.Validate(); err != nil {
 		return nil, err
 	}
@@ -162,6 +173,9 @@ func PreprocessOpts(m *sparse.COO, a *arch.Arch, o Options) (*Prep, error) {
 	}
 
 	// Stage 1: matrix scan — tiling and per-tile statistics.
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, fmt.Errorf("hotcore: preprocessing canceled: %w", cerr)
+	}
 	t0 := time.Now()
 	g, err := tile.Partition(m, a.TileH, a.TileW)
 	if err != nil {
@@ -170,6 +184,9 @@ func PreprocessOpts(m *sparse.COO, a *arch.Arch, o Options) (*Prep, error) {
 	scan := time.Since(t0)
 
 	// Stage 2: partitioning heuristic.
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, fmt.Errorf("hotcore: preprocessing canceled: %w", cerr)
+	}
 	t0 = time.Now()
 	var res partition.Result
 	switch strategy {
@@ -202,6 +219,9 @@ func PreprocessOpts(m *sparse.COO, a *arch.Arch, o Options) (*Prep, error) {
 	p.Timing.Partition = part
 
 	// Stage 3a: cold (base) format — the untiled row-ordered section.
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, fmt.Errorf("hotcore: preprocessing canceled: %w", cerr)
+	}
 	t0 = time.Now()
 	cold := coldSection(g, res.Hot)
 	if a.Cold.Format == model.FormatCSR {
@@ -212,6 +232,9 @@ func PreprocessOpts(m *sparse.COO, a *arch.Arch, o Options) (*Prep, error) {
 	p.Timing.BaseFormat = time.Since(t0)
 
 	// Stage 3b: hot (extra) format — the tiled section.
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, fmt.Errorf("hotcore: preprocessing canceled: %w", cerr)
+	}
 	t0 = time.Now()
 	p.Hot = hotSection(g, res.Hot, a.Hot.Format == model.FormatCSR)
 	p.Timing.ExtraFormat = time.Since(t0)
@@ -271,8 +294,24 @@ func hotSection(g *tile.Grid, hot []bool, csr bool) *TiledMatrix {
 }
 
 // Validate checks that the preprocessing output partitions the matrix: the
-// hot and cold sections together hold exactly the grid's nonzeros.
+// hot and cold sections together hold exactly the grid's nonzeros. It must
+// never panic, whatever the field values — ReadPlan runs it on
+// gob-decoded data from disk, where truncation or bit rot can produce a
+// structurally arbitrary Prep (nil hot section, ragged block slices,
+// zero tile geometry), so every invariant is checked before it is relied
+// on for indexing or division.
 func (p *Prep) Validate() error {
+	if p.Hot == nil {
+		return fmt.Errorf("hotcore: plan missing hot section")
+	}
+	if len(p.Hot.Blocks) > 0 && (p.Hot.TileH <= 0 || p.Hot.TileW <= 0) {
+		return fmt.Errorf("hotcore: hot section tile geometry %dx%d invalid",
+			p.Hot.TileH, p.Hot.TileW)
+	}
+	if len(p.Hot.RowPtr) != len(p.Hot.Blocks) {
+		return fmt.Errorf("hotcore: hot section has %d row-pointer arrays for %d blocks",
+			len(p.Hot.RowPtr), len(p.Hot.Blocks))
+	}
 	coldNNZ := 0
 	switch {
 	case p.Cold != nil:
@@ -291,6 +330,10 @@ func (p *Prep) Validate() error {
 	}
 	for b := range p.Hot.Blocks {
 		blk := &p.Hot.Blocks[b]
+		if len(blk.Cols) != len(blk.Rows) || len(blk.Vals) != len(blk.Rows) {
+			return fmt.Errorf("hotcore: hot block %d ragged: rows=%d cols=%d vals=%d",
+				b, len(blk.Rows), len(blk.Cols), len(blk.Vals))
+		}
 		if p.Hot.CSR {
 			ptr := p.Hot.RowPtr[b]
 			if len(ptr) == 0 || ptr[len(ptr)-1] != int64(len(blk.Vals)) {

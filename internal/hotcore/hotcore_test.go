@@ -9,7 +9,7 @@ import (
 	"repro/internal/sparse"
 )
 
-func testMatrix(t *testing.T, seed int64, n, blockN, blockNNZ, bgNNZ int) *sparse.COO {
+func testMatrix(t testing.TB, seed int64, n, blockN, blockNNZ, bgNNZ int) *sparse.COO {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
 	m := sparse.NewCOO(n, blockNNZ+bgNNZ)

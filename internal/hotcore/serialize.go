@@ -90,6 +90,16 @@ func ReadPlan(r io.Reader) (*Prep, error) {
 		return nil, fmt.Errorf("hotcore: stored assignment length %d, grid has %d tiles",
 			len(wire.Hot), len(g.Tiles))
 	}
+	// A corrupt stream can decode into a missing hot section or one whose
+	// private geometry disagrees with the grid; reject both before
+	// Validate leans on them.
+	if wire.HotFormat == nil {
+		return nil, fmt.Errorf("hotcore: stored plan missing hot section")
+	}
+	if wire.HotFormat.N != g.N || wire.HotFormat.TileH != g.TileH || wire.HotFormat.TileW != g.TileW {
+		return nil, fmt.Errorf("hotcore: stored hot section geometry %d/%dx%d disagrees with grid %d/%dx%d",
+			wire.HotFormat.N, wire.HotFormat.TileH, wire.HotFormat.TileW, g.N, g.TileH, g.TileW)
+	}
 	p := &Prep{
 		Grid: g,
 		Partition: partition.Result{

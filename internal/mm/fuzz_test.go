@@ -17,6 +17,11 @@ func FuzzRead(f *testing.F) {
 	f.Add("")
 	f.Add("%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n")
 	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n% comment\n\n1 2 9\n")
+	// Malformed size lines the strict parser must reject (a pre-fix
+	// fmt.Sscan accepted all of these with trailing garbage dropped).
+	f.Add("%%MatrixMarket matrix coordinate real general\n4 4 5 junk\n1 1 1\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n4 4 5 6\n1 1 1\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1.5\n1 1 1\n")
 
 	f.Fuzz(func(t *testing.T, input string) {
 		m, err := Read(strings.NewReader(input))

@@ -96,8 +96,19 @@ func Read(r io.Reader) (*sparse.COO, error) {
 		if line == "" || strings.HasPrefix(line, "%") {
 			continue
 		}
-		if _, err := fmt.Sscan(line, &rows, &cols, &nnz); err != nil {
-			return nil, fmt.Errorf("mm: bad size line %q: %w", line, err)
+		// Parse strictly: exactly three integer fields. fmt.Sscan would
+		// silently accept trailing garbage ("4 4 5 junk" parses as 4×4/5),
+		// so a corrupt upload would be mis-read instead of rejected.
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("mm: bad size line %q: want exactly \"rows cols nnz\"", line)
+		}
+		for i, dst := range []*int{&rows, &cols, &nnz} {
+			v, err := strconv.Atoi(fields[i])
+			if err != nil {
+				return nil, fmt.Errorf("mm: bad size line %q: %w", line, err)
+			}
+			*dst = v
 		}
 		break
 	}

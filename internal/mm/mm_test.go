@@ -102,22 +102,29 @@ func TestReadIntegerField(t *testing.T) {
 
 func TestReadErrors(t *testing.T) {
 	cases := map[string]string{
-		"empty":          "",
-		"bad banner":     "%%NotMatrixMarket x y z w\n1 1 0\n",
-		"bad object":     "%%MatrixMarket vector coordinate real general\n1 1 0\n",
-		"dense format":   "%%MatrixMarket matrix array real general\n1 1\n",
-		"bad field":      "%%MatrixMarket matrix coordinate complex general\n1 1 0\n",
-		"bad symmetry":   "%%MatrixMarket matrix coordinate real hermitian\n1 1 0\n",
-		"non-square":     "%%MatrixMarket matrix coordinate real general\n2 3 0\n",
-		"missing size":   "%%MatrixMarket matrix coordinate real general\n% only comments\n",
-		"bad size":       "%%MatrixMarket matrix coordinate real general\nx y z\n",
-		"short entries":  "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1\n",
-		"bad entry":      "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 nope 1\n",
-		"bad row":        "%%MatrixMarket matrix coordinate real general\n2 2 1\nx 1 1\n",
-		"bad value":      "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 zz\n",
-		"out of range":   "%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 1\n",
-		"zero dimension": "%%MatrixMarket matrix coordinate real general\n0 0 0\n",
-		"few fields":     "%%MatrixMarket matrix coordinate real general\n2 2 1\n1\n",
+		"empty":        "",
+		"bad banner":   "%%NotMatrixMarket x y z w\n1 1 0\n",
+		"bad object":   "%%MatrixMarket vector coordinate real general\n1 1 0\n",
+		"dense format": "%%MatrixMarket matrix array real general\n1 1\n",
+		"bad field":    "%%MatrixMarket matrix coordinate complex general\n1 1 0\n",
+		"bad symmetry": "%%MatrixMarket matrix coordinate real hermitian\n1 1 0\n",
+		"non-square":   "%%MatrixMarket matrix coordinate real general\n2 3 0\n",
+		"missing size": "%%MatrixMarket matrix coordinate real general\n% only comments\n",
+		"bad size":     "%%MatrixMarket matrix coordinate real general\nx y z\n",
+		// Strict size-line arity: fmt.Sscan used to accept all four of
+		// these (trailing garbage, a fourth integer, a fractional nnz, a
+		// short line), silently mis-reading corrupt uploads as 4×4/5 etc.
+		"size trailing garbage": "%%MatrixMarket matrix coordinate real general\n4 4 1 junk\n1 1 1\n",
+		"size extra integer":    "%%MatrixMarket matrix coordinate real general\n4 4 1 6\n1 1 1\n",
+		"size fractional nnz":   "%%MatrixMarket matrix coordinate real general\n2 2 1.5\n1 1 1\n",
+		"size short line":       "%%MatrixMarket matrix coordinate real general\n2 2\n1 1 1\n",
+		"short entries":         "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1\n",
+		"bad entry":             "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 nope 1\n",
+		"bad row":               "%%MatrixMarket matrix coordinate real general\n2 2 1\nx 1 1\n",
+		"bad value":             "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 zz\n",
+		"out of range":          "%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 1\n",
+		"zero dimension":        "%%MatrixMarket matrix coordinate real general\n0 0 0\n",
+		"few fields":            "%%MatrixMarket matrix coordinate real general\n2 2 1\n1\n",
 	}
 	for name, in := range cases {
 		if _, err := Read(strings.NewReader(in)); err == nil {

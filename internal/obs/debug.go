@@ -7,6 +7,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"fmt"
@@ -16,6 +17,7 @@ import (
 	"net/http/pprof"
 	"slices"
 	"strings"
+	"time"
 )
 
 // sanitizeMetricName maps a registry name onto the Prometheus metric-name
@@ -37,22 +39,68 @@ func sanitizeMetricName(name string) string {
 			b.WriteByte('_')
 		}
 	}
+	if b.Len() == 0 {
+		return "_"
+	}
 	return b.String()
+}
+
+// promNamer assigns each registry name a unique Prometheus name.
+// Sanitization is lossy ("sim.engine.steps" and "sim_engine_steps" both map
+// to "sim_engine_steps"), and a collided exposition carries duplicate # TYPE
+// lines and duplicate series, which Prometheus rejects as a malformed
+// scrape. The namer claims every series a metric will emit (the base name
+// plus kind-specific companions like a gauge's _max or a histogram's
+// _bucket/_sum/_count) and resolves collisions by suffixing _2, _3, ... —
+// deterministic because metrics are assigned in a fixed order (counters,
+// gauges, histograms; each sorted by registry name).
+type promNamer struct {
+	taken map[string]bool
+}
+
+// assign returns the unique exposition name for a registry name, reserving
+// name+suffix for every companion series the metric emits.
+func (p *promNamer) assign(name string, companions ...string) string {
+	if p.taken == nil {
+		p.taken = map[string]bool{}
+	}
+	base := sanitizeMetricName(name)
+	for n := 1; ; n++ {
+		cand := base
+		if n > 1 {
+			cand = fmt.Sprintf("%s_%d", base, n)
+		}
+		free := !p.taken[cand]
+		for _, c := range companions {
+			free = free && !p.taken[cand+c]
+		}
+		if !free {
+			continue
+		}
+		p.taken[cand] = true
+		for _, c := range companions {
+			p.taken[cand+c] = true
+		}
+		return cand
+	}
 }
 
 // WriteMetricsText renders the view in the Prometheus text exposition
 // format (version 0.0.4): counters, gauges (level plus a companion _max
 // gauge for the high-water mark), and histograms with cumulative _bucket
 // series, _sum, and _count. Output is sorted by metric name so scrapes
-// diff cleanly.
+// diff cleanly, and distinct registry names that sanitize to the same
+// Prometheus name are disambiguated through promNamer so one exposition
+// never carries duplicate series.
 func (v *RegistryView) WriteMetricsText(w io.Writer) error {
+	var namer promNamer
 	names := make([]string, 0, len(v.Counters))
 	for name := range v.Counters {
 		names = append(names, name)
 	}
 	slices.Sort(names)
 	for _, name := range names {
-		p := sanitizeMetricName(name)
+		p := namer.assign(name)
 		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", p, p, v.Counters[name]); err != nil {
 			return err
 		}
@@ -65,7 +113,7 @@ func (v *RegistryView) WriteMetricsText(w io.Writer) error {
 	slices.Sort(names)
 	for _, name := range names {
 		g := v.Gauges[name]
-		p := sanitizeMetricName(name)
+		p := namer.assign(name, "_max")
 		_, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n# TYPE %s_max gauge\n%s_max %d\n",
 			p, p, g.Value, p, p, g.Max)
 		if err != nil {
@@ -80,7 +128,7 @@ func (v *RegistryView) WriteMetricsText(w io.Writer) error {
 	slices.Sort(names)
 	for _, name := range names {
 		h := v.Histograms[name]
-		p := sanitizeMetricName(name)
+		p := namer.assign(name, "_bucket", "_sum", "_count")
 		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", p); err != nil {
 			return err
 		}
@@ -144,9 +192,30 @@ func DebugMux() *http.ServeMux {
 	return mux
 }
 
+// debugDrainTimeout bounds how long ServeDebug's stop function waits for
+// in-flight scrapes before cutting their connections.
+const debugDrainTimeout = 2 * time.Second
+
+// GracefulStop shuts an HTTP server down without truncating in-flight
+// responses: it stops the listeners, waits up to drain for running handlers
+// to finish, and only then falls back to Close (which severs whatever is
+// still open). It returns the Shutdown error when the drain deadline was
+// exceeded — nil means every in-flight response completed. Both the debug
+// endpoint and the hottilesd daemon stop through this one drain path.
+func GracefulStop(srv *http.Server, drain time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		srv.Close()
+		return fmt.Errorf("obs: drain incomplete after %v: %w", drain, err)
+	}
+	return nil
+}
+
 // ServeDebug starts the debug endpoint on addr (e.g. ":6060"). It returns
-// the bound address (useful when addr requested port 0) and a stop
-// function that closes the listener and any in-flight connections. The
+// the bound address (useful when addr requested port 0) and a stop function
+// that drains in-flight requests (a scrape racing shutdown still gets its
+// full body) before closing the listener and any remaining connections. The
 // accept loop is the one goroutine the repository runs outside the par
 // pool: it must outlive any single fan-out and terminate with the
 // listener, which the pool's bounded-task shape cannot express.
@@ -157,5 +226,5 @@ func ServeDebug(addr string) (string, func(), error) {
 	}
 	srv := &http.Server{Handler: DebugMux()}
 	go srv.Serve(ln)
-	return ln.Addr().String(), func() { srv.Close() }, nil
+	return ln.Addr().String(), func() { GracefulStop(srv, debugDrainTimeout) }, nil
 }

@@ -1,13 +1,16 @@
 package obs
 
 import (
+	"bytes"
 	"encoding/json"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestSanitizeMetricName(t *testing.T) {
@@ -22,6 +25,103 @@ func TestSanitizeMetricName(t *testing.T) {
 		if got := sanitizeMetricName(in); got != want {
 			t.Errorf("sanitizeMetricName(%q) = %q, want %q", in, got, want)
 		}
+	}
+}
+
+// parseExposition splits a Prometheus text exposition into its # TYPE
+// declarations and its series names, failing the test on any line that is
+// neither.
+func parseExposition(t *testing.T, body string) (types []string, series []string) {
+	t.Helper()
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			types = append(types, strings.Fields(rest)[0])
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		name := fields[0]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		series = append(series, name)
+	}
+	return types, series
+}
+
+// TestWriteMetricsTextCollisions is the regression test for the sanitizer
+// collision bug: "sim.engine.steps" and "sim_engine_steps" both sanitize to
+// "sim_engine_steps", and the pre-fix exposition emitted two # TYPE lines
+// and two series under that one name — a scrape Prometheus rejects as
+// malformed. Collided registry names must now serve under distinct,
+// deterministic exposition names, companions (_max, _bucket, _sum, _count)
+// included.
+func TestWriteMetricsTextCollisions(t *testing.T) {
+	v := &RegistryView{
+		Counters: map[string]int64{
+			"sim.engine.steps": 3,
+			"sim_engine_steps": 4,
+			"queue.depth.max":  9, // collides with the gauge's _max companion
+		},
+		Gauges: map[string]GaugeSnapshot{
+			"queue.depth": {Value: 1, Max: 2},
+			"queue_depth": {Value: 5, Max: 6},
+		},
+		Histograms: map[string]HistogramSnapshot{
+			"req.lat.ns": {Count: 1, SumNS: 10, Buckets: []HistBucket{{UpperNS: 15, Count: 1}}},
+			"req_lat.ns": {Count: 2, SumNS: 20, Buckets: []HistBucket{{UpperNS: 31, Count: 2}}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := v.WriteMetricsText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+
+	types, series := parseExposition(t, body)
+	seenType := map[string]bool{}
+	for _, name := range types {
+		if seenType[name] {
+			t.Errorf("duplicate # TYPE line for %q", name)
+		}
+		seenType[name] = true
+	}
+	// Within one # TYPE block repeated series names are legitimate only for
+	// histogram buckets; here every histogram has distinct buckets, so a
+	// duplicated (name, kind) pair can only come from a collision.
+	seenSeries := map[string]int{}
+	for _, name := range series {
+		seenSeries[name]++
+	}
+	for name, n := range seenSeries {
+		if n > 1 && !strings.HasSuffix(name, "_bucket") {
+			t.Errorf("series %q emitted %d times", name, n)
+		}
+	}
+
+	// Every registry value must still be present under its deterministic
+	// name: the counter claims queue_depth_max, which pushes both gauges
+	// (whose _max companion would collide) onto suffixed names.
+	for _, want := range []string{
+		"sim_engine_steps 3", "sim_engine_steps_2 4",
+		"queue_depth_max 9",
+		"queue_depth_2 1", "queue_depth_2_max 2",
+		"queue_depth_3 5", "queue_depth_3_max 6",
+		"req_lat_ns_sum 10", "req_lat_ns_2_sum 20",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition lost a collided metric: missing %q in\n%s", want, body)
+		}
+	}
+	// Determinism: two renders of the same view are identical.
+	var buf2 bytes.Buffer
+	if err := v.WriteMetricsText(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != body {
+		t.Error("collision resolution is not deterministic")
 	}
 }
 
@@ -194,6 +294,87 @@ func TestServeDebug(t *testing.T) {
 	defer stop2()
 	if _, _, err := ServeDebug(addr2); err == nil {
 		t.Fatal("double bind did not error")
+	}
+}
+
+// TestGracefulStopDrainsSlowHandler is the regression test for the
+// non-draining shutdown bug: the pre-fix stop path called srv.Close(),
+// which severs in-flight connections, so a scrape racing shutdown got a
+// truncated body. GracefulStop must let a slow handler finish its full
+// response before the server goes away.
+func TestGracefulStopDrainsSlowHandler(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	tail := strings.Repeat("x", 1<<16)
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(started)
+		// Slow handler: the body lands only after shutdown has begun.
+		time.Sleep(200 * time.Millisecond)
+		io.WriteString(w, "head\n"+tail)
+	})}
+	go srv.Serve(ln)
+
+	type result struct {
+		body string
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/")
+		if err != nil {
+			got <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		got <- result{body: string(data), err: err}
+	}()
+
+	<-started
+	if err := GracefulStop(srv, 5*time.Second); err != nil {
+		t.Fatalf("GracefulStop: %v", err)
+	}
+	r := <-got
+	if r.err != nil {
+		t.Fatalf("in-flight scrape cut by shutdown: %v", r.err)
+	}
+	if r.body != "head\n"+tail {
+		t.Fatalf("in-flight scrape truncated: got %d bytes, want %d", len(r.body), 5+len(tail))
+	}
+	if _, err := http.Get("http://" + ln.Addr().String() + "/"); err == nil {
+		t.Fatal("server still accepting after GracefulStop")
+	}
+}
+
+// TestGracefulStopDeadline pins the fallback: a handler that outlives the
+// drain window must not wedge shutdown — GracefulStop reports the deadline
+// and closes the connection instead.
+func TestGracefulStopDeadline(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(started)
+		<-release
+	})}
+	go srv.Serve(ln)
+	go http.Get("http://" + ln.Addr().String() + "/")
+
+	<-started
+	t0 := time.Now()
+	err = GracefulStop(srv, 50*time.Millisecond)
+	close(release)
+	if err == nil {
+		t.Fatal("GracefulStop returned nil despite a wedged handler")
+	}
+	if d := time.Since(t0); d > 3*time.Second {
+		t.Fatalf("GracefulStop took %v, the Close fallback did not fire", d)
 	}
 }
 

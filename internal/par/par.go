@@ -84,6 +84,29 @@ func SetWorkers(n int) int {
 	return int(override.Swap(int32(n)))
 }
 
+// depthPubMu serializes poolDepth publications. Without it, a goroutine
+// preempted between its CAS on extra and its gauge Set can publish a stale
+// depth over a newer one (acquire CASes 0→1, a racing release publishes 0,
+// the acquire's delayed Set then leaves the gauge stuck at 1 while the pool
+// is idle). Acquires and releases happen once per participant per fan-out,
+// not per item, so a mutex here is off the hot path.
+var depthPubMu sync.Mutex
+
+// publishDepth records the pool depth into the gauge and timeline. post is
+// the depth the caller's own CAS just produced — published first so the
+// .max high-water mark sees every transient peak — and the level is then
+// recomputed from extra under the mutex, so a delayed publisher can never
+// overwrite a newer level: the last publication to run reads the freshest
+// depth, and the gauge converges to extra once publishers drain.
+func publishDepth(post int32) {
+	depthPubMu.Lock()
+	poolDepth.Set(int64(post))
+	cur := extra.Load()
+	poolDepth.Set(int64(cur))
+	sampleDepth(timeline.Load(), cur)
+	depthPubMu.Unlock()
+}
+
 // tryAcquire claims one extra-goroutine slot, returning its 1-based index
 // (the depth after the claim) for timeline labeling.
 func tryAcquire() (int32, bool) {
@@ -94,17 +117,14 @@ func tryAcquire() (int32, bool) {
 		}
 		if extra.CompareAndSwap(cur, cur+1) {
 			poolSpawned.Inc()
-			poolDepth.Set(int64(cur + 1))
-			sampleDepth(timeline.Load(), cur+1)
+			publishDepth(cur + 1)
 			return cur + 1, true
 		}
 	}
 }
 
 func release() {
-	after := extra.Add(-1)
-	poolDepth.Set(int64(after))
-	sampleDepth(timeline.Load(), after)
+	publishDepth(extra.Add(-1))
 }
 
 // ForEach runs fn(i) for every i in [0, n), fanning out over the worker

@@ -3,9 +3,12 @@ package par
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func TestForEachCoversAllIndices(t *testing.T) {
@@ -81,6 +84,76 @@ func TestChunksCoverExactly(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestPoolDepthGaugeQuiesces is the regression test for the stale-depth
+// publication race: pre-fix, tryAcquire/release published the gauge with a
+// plain Set after their CAS on extra, so a publisher delayed between the
+// two atomics could overwrite a newer depth and leave the gauge nonzero
+// after every fan-out had drained. It hammers acquire/release from
+// concurrent goroutines — the windows fill most of each iteration, so on
+// multicore hardware the pre-fix interleave surfaces within a few hundred
+// trials — and asserts the gauge reads exactly 0 whenever the pool is
+// idle. Run under `make race` this also pins the publication path's
+// thread safety.
+func TestPoolDepthGaugeQuiesces(t *testing.T) {
+	defer SetWorkers(SetWorkers(8))
+	depth := obs.NewGauge("par.pool.depth") // same process-wide gauge the pool publishes
+	for trial := 0; trial < 400; trial++ {
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 500; i++ {
+					if _, ok := tryAcquire(); ok {
+						release()
+					} else {
+						runtime.Gosched()
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if got := depth.Load(); got != 0 {
+			t.Fatalf("trial %d: pool idle but depth gauge reads %d", trial, got)
+		}
+	}
+	if depth.Max() < 1 {
+		t.Fatal("acquires never raised the high-water mark; the test exercised nothing")
+	}
+}
+
+// TestPublishDepthRecomputesLevel pins the fix deterministically: a
+// publisher carrying a stale post-CAS depth must not win the level — the
+// published level is recomputed from extra at publication time, while the
+// stale peak still reaches the high-water mark.
+func TestPublishDepthRecomputesLevel(t *testing.T) {
+	defer SetWorkers(SetWorkers(8))
+	depth := obs.NewGauge("par.pool.depth")
+	base := depth.Max()
+
+	// Two slots held; a delayed publisher from an older acquire (post-CAS
+	// depth 1) fires late. Pre-fix semantics published its argument as the
+	// level; post-fix the level must read the true current depth, 2.
+	if _, ok := tryAcquire(); !ok {
+		t.Fatal("no pool budget")
+	}
+	if _, ok := tryAcquire(); !ok {
+		t.Fatal("no pool budget")
+	}
+	publishDepth(1) // the delayed, stale publication
+	if got := depth.Load(); got != 2 {
+		t.Fatalf("stale publication won: gauge reads %d, want 2", got)
+	}
+	release()
+	release()
+	if got := depth.Load(); got != 0 {
+		t.Fatalf("gauge reads %d after drain, want 0", got)
+	}
+	if depth.Max() < base || depth.Max() < 2 {
+		t.Fatalf("high-water mark %d lost the peak", depth.Max())
 	}
 }
 

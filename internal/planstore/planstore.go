@@ -1,0 +1,399 @@
+// Package planstore is the content-addressed plan cache behind the
+// hottilesd daemon: a bounded byte store keyed by matrix+config hash, with
+// singleflight build deduplication, admission control (bounded active
+// builds plus a bounded wait queue — overload is refused, not buffered
+// without limit), an in-memory LRU over the serialized plans, and an
+// optional disk spill so plans survive restarts. It stores opaque bytes on
+// purpose: the daemon serializes plans with hotcore.WritePlan, but nothing
+// here depends on the plan format, so the store is testable without
+// running the pipeline.
+package planstore
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Process-wide store observability, aggregated across instances (a daemon
+// runs one store; tests may run several). Per-instance numbers come from
+// Stats.
+var (
+	storeBuilds    = obs.NewCounter("planstore.builds")
+	storeBuildErrs = obs.NewCounter("planstore.build.errors")
+	storeMemHits   = obs.NewCounter("planstore.hits.mem")
+	storeDiskHits  = obs.NewCounter("planstore.hits.disk")
+	storeCoalesced = obs.NewCounter("planstore.coalesced")
+	storeRejected  = obs.NewCounter("planstore.rejected")
+	storeEvictions = obs.NewCounter("planstore.evictions")
+	storeActive    = obs.NewGauge("planstore.active")
+	storeQueued    = obs.NewGauge("planstore.queued")
+	storeBuildNS   = obs.NewHistogram("planstore.build.ns")
+)
+
+// ErrBusy is returned when both the active-build slots and the wait queue
+// are full. Callers translate it into backpressure (hottilesd answers
+// 429 with a Retry-After derived from RetryAfter).
+var ErrBusy = errors.New("planstore: build queue full")
+
+// Config sizes a Store. The zero value is usable: defaults are one active
+// build (preprocessing saturates the machine; more builds than cores just
+// thrash), a 64-deep wait queue, a 256 MiB memory cache, and no disk spill.
+type Config struct {
+	// Dir, when non-empty, is the disk spill directory: every built plan
+	// is persisted there (write-to-temp, rename) and memory misses check
+	// it before rebuilding. The directory is created if missing.
+	Dir string
+	// MaxBytes bounds the in-memory cache (sum of value lengths).
+	MaxBytes int64
+	// MaxActive bounds concurrently running builds.
+	MaxActive int
+	// MaxQueue bounds builders waiting for an active slot; a request
+	// arriving with the queue full gets ErrBusy. Negative means "no
+	// queue": every build either gets a slot immediately or is refused.
+	MaxQueue int
+}
+
+const (
+	defaultMaxBytes  = 256 << 20
+	defaultMaxActive = 1
+	defaultMaxQueue  = 64
+)
+
+// Stats is a point-in-time view of one Store's behavior. Builds counts
+// build function invocations — the singleflight and cache tests pin their
+// guarantees on it.
+type Stats struct {
+	Builds      int64 // build invocations (cache misses that ran the pipeline)
+	BuildErrors int64 // builds that returned an error (not cached)
+	MemHits     int64 // lookups served from the memory LRU
+	DiskHits    int64 // lookups served from the spill directory
+	Coalesced   int64 // lookups that joined another caller's in-flight build
+	Rejected    int64 // lookups refused with ErrBusy
+	Evictions   int64 // values dropped from the memory LRU
+	Active      int   // builds running now
+	Queued      int   // builders waiting for a slot now
+	CachedPlans int   // values in the memory LRU
+	CachedBytes int64 // sum of value lengths in the memory LRU
+}
+
+type flight struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+type memEntry struct {
+	key string
+	val []byte
+}
+
+// Store is the content-addressed cache. Create with New.
+type Store struct {
+	cfg Config
+
+	mu      sync.Mutex
+	flights map[string]*flight
+	mem     map[string]*list.Element
+	lru     *list.List // front = most recently used
+	bytes   int64
+
+	slots  chan struct{} // buffered MaxActive: holding a token = building
+	queued atomic.Int64
+
+	builds, buildErrs, memHits, diskHits atomic.Int64
+	coalesced, rejected, evictions       atomic.Int64
+
+	// ewmaBuildNS tracks recent build cost for Retry-After estimation.
+	ewmaBuildNS atomic.Int64
+}
+
+// New returns a Store sized by cfg, creating the spill directory when one
+// is configured.
+func New(cfg Config) (*Store, error) {
+	if cfg.MaxBytes <= 0 {
+		cfg.MaxBytes = defaultMaxBytes
+	}
+	if cfg.MaxActive <= 0 {
+		cfg.MaxActive = defaultMaxActive
+	}
+	if cfg.MaxQueue == 0 {
+		cfg.MaxQueue = defaultMaxQueue
+	}
+	if cfg.Dir != "" {
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("planstore: spill dir: %w", err)
+		}
+	}
+	return &Store{
+		cfg:     cfg,
+		flights: map[string]*flight{},
+		mem:     map[string]*list.Element{},
+		lru:     list.New(),
+		slots:   make(chan struct{}, cfg.MaxActive),
+	}, nil
+}
+
+// Get returns the bytes for key, building them at most once per miss:
+// concurrent callers with the same key share one build (followers do not
+// consume queue slots). Build errors are returned to every waiter of that
+// flight but are not cached — the next Get for the key tries again,
+// because unlike par.Cache's deterministic memos a daemon build can fail
+// transiently (timeout, cancellation). A follower whose ctx expires stops
+// waiting without disturbing the build.
+func (s *Store) Get(ctx context.Context, key string, build func(ctx context.Context) ([]byte, error)) ([]byte, error) {
+	s.mu.Lock()
+	if e, ok := s.mem[key]; ok {
+		s.lru.MoveToFront(e)
+		val := e.Value.(*memEntry).val
+		s.mu.Unlock()
+		s.memHits.Add(1)
+		storeMemHits.Inc()
+		return val, nil
+	}
+	if f, ok := s.flights[key]; ok {
+		s.mu.Unlock()
+		s.coalesced.Add(1)
+		storeCoalesced.Inc()
+		select {
+		case <-f.done:
+			return f.val, f.err
+		case <-ctx.Done():
+			return nil, fmt.Errorf("planstore: waiting for in-flight build: %w", ctx.Err())
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[key] = f
+	s.mu.Unlock()
+
+	f.val, f.err = s.runBuild(ctx, key, build)
+
+	s.mu.Lock()
+	delete(s.flights, key)
+	if f.err == nil {
+		s.putLocked(key, f.val)
+	}
+	s.mu.Unlock()
+	close(f.done)
+	return f.val, f.err
+}
+
+// Peek returns the bytes for key if they are already cached in memory or
+// on disk, without ever building. It promotes disk hits into memory.
+func (s *Store) Peek(key string) ([]byte, bool) {
+	s.mu.Lock()
+	if e, ok := s.mem[key]; ok {
+		s.lru.MoveToFront(e)
+		val := e.Value.(*memEntry).val
+		s.mu.Unlock()
+		s.memHits.Add(1)
+		storeMemHits.Inc()
+		return val, true
+	}
+	s.mu.Unlock()
+	if val, ok := s.readDisk(key); ok {
+		s.mu.Lock()
+		s.putLocked(key, val)
+		s.mu.Unlock()
+		return val, true
+	}
+	return nil, false
+}
+
+// runBuild admits the build through the gate, checks disk, and runs it.
+func (s *Store) runBuild(ctx context.Context, key string, build func(ctx context.Context) ([]byte, error)) ([]byte, error) {
+	// Disk check happens before admission: reading a spilled plan back is
+	// IO, not preprocessing, and must not be refused under build load.
+	if val, ok := s.readDisk(key); ok {
+		return val, nil
+	}
+	if err := s.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer s.release()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("planstore: canceled before build: %w", err)
+	}
+	t0 := time.Now()
+	val, err := build(ctx)
+	dur := time.Since(t0).Nanoseconds()
+	storeBuildNS.Observe(dur)
+	s.observeBuild(dur)
+	s.builds.Add(1)
+	storeBuilds.Inc()
+	if err != nil {
+		s.buildErrs.Add(1)
+		storeBuildErrs.Inc()
+		return nil, err
+	}
+	s.writeDisk(key, val)
+	return val, nil
+}
+
+// acquire claims a build slot, waiting in the bounded queue if none is
+// free. Full queue → ErrBusy; canceled wait → ctx error.
+func (s *Store) acquire(ctx context.Context) error {
+	select {
+	case s.slots <- struct{}{}:
+		storeActive.Set(int64(len(s.slots)))
+		return nil
+	default:
+	}
+	if q := s.queued.Add(1); q > int64(s.cfg.MaxQueue) || s.cfg.MaxQueue < 0 {
+		s.queued.Add(-1)
+		s.rejected.Add(1)
+		storeRejected.Inc()
+		return ErrBusy
+	}
+	storeQueued.Set(s.queued.Load())
+	defer func() {
+		storeQueued.Set(s.queued.Add(-1))
+	}()
+	select {
+	case s.slots <- struct{}{}:
+		storeActive.Set(int64(len(s.slots)))
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("planstore: canceled while queued: %w", ctx.Err())
+	}
+}
+
+func (s *Store) release() {
+	<-s.slots
+	storeActive.Set(int64(len(s.slots)))
+}
+
+// putLocked inserts a value into the memory LRU and evicts from the cold
+// end until the byte budget holds again (the newest value always stays,
+// even when it alone exceeds the budget).
+func (s *Store) putLocked(key string, val []byte) {
+	if e, ok := s.mem[key]; ok {
+		s.bytes += int64(len(val)) - int64(len(e.Value.(*memEntry).val))
+		e.Value.(*memEntry).val = val
+		s.lru.MoveToFront(e)
+	} else {
+		s.mem[key] = s.lru.PushFront(&memEntry{key: key, val: val})
+		s.bytes += int64(len(val))
+	}
+	for s.bytes > s.cfg.MaxBytes && s.lru.Len() > 1 {
+		back := s.lru.Back()
+		ent := back.Value.(*memEntry)
+		s.lru.Remove(back)
+		delete(s.mem, ent.key)
+		s.bytes -= int64(len(ent.val))
+		s.evictions.Add(1)
+		storeEvictions.Inc()
+	}
+}
+
+// observeBuild folds one build duration into the EWMA (α = 1/4).
+func (s *Store) observeBuild(ns int64) {
+	for {
+		old := s.ewmaBuildNS.Load()
+		next := ns
+		if old > 0 {
+			next = old + (ns-old)/4
+		}
+		if s.ewmaBuildNS.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// RetryAfter suggests how long a refused caller should wait before
+// retrying: the recent build cost times the work queued ahead of it,
+// clamped to [1s, 60s] so the header is always sane even before the first
+// build lands.
+func (s *Store) RetryAfter() time.Duration {
+	ewma := time.Duration(s.ewmaBuildNS.Load())
+	backlog := 1 + int(s.queued.Load())/s.cfg.MaxActive
+	d := ewma * time.Duration(backlog)
+	if d < time.Second {
+		d = time.Second
+	}
+	if d > time.Minute {
+		d = time.Minute
+	}
+	return d
+}
+
+// Stats snapshots the store's counters and occupancy.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	plans, bytes := s.lru.Len(), s.bytes
+	s.mu.Unlock()
+	return Stats{
+		Builds:      s.builds.Load(),
+		BuildErrors: s.buildErrs.Load(),
+		MemHits:     s.memHits.Load(),
+		DiskHits:    s.diskHits.Load(),
+		Coalesced:   s.coalesced.Load(),
+		Rejected:    s.rejected.Load(),
+		Evictions:   s.evictions.Load(),
+		Active:      len(s.slots),
+		Queued:      int(s.queued.Load()),
+		CachedPlans: plans,
+		CachedBytes: bytes,
+	}
+}
+
+// diskPath maps a key onto the spill directory; "" when spill is off or
+// the key would escape the directory.
+func (s *Store) diskPath(key string) string {
+	if s.cfg.Dir == "" || key == "" {
+		return ""
+	}
+	for _, r := range key {
+		ok := r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' ||
+			r == '-' || r == '_' || r == '.'
+		if !ok || key[0] == '.' {
+			return ""
+		}
+	}
+	return filepath.Join(s.cfg.Dir, key+".plan")
+}
+
+func (s *Store) readDisk(key string) ([]byte, bool) {
+	path := s.diskPath(key)
+	if path == "" {
+		return nil, false
+	}
+	val, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	s.diskHits.Add(1)
+	storeDiskHits.Inc()
+	return val, true
+}
+
+// writeDisk spills one value (write-to-temp, rename, so readers never see
+// a torn file). Spill failure is not a build failure: the plan is still
+// served from memory.
+func (s *Store) writeDisk(key string, val []byte) {
+	path := s.diskPath(key)
+	if path == "" {
+		return
+	}
+	tmp, err := os.CreateTemp(s.cfg.Dir, "spill-*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(val)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+	}
+}

@@ -1,0 +1,366 @@
+package planstore
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// newStore builds a test store with a tiny footprint.
+func newStore(t *testing.T, cfg Config) *Store {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func constBuild(val []byte) func(context.Context) ([]byte, error) {
+	return func(context.Context) ([]byte, error) { return val, nil }
+}
+
+func TestGetBuildsOnceThenHits(t *testing.T) {
+	s := newStore(t, Config{})
+	calls := 0
+	build := func(context.Context) ([]byte, error) {
+		calls++
+		return []byte("plan"), nil
+	}
+	for i := 0; i < 3; i++ {
+		got, err := s.Get(context.Background(), "k", build)
+		if err != nil || string(got) != "plan" {
+			t.Fatalf("get %d: %q, %v", i, got, err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("build ran %d times, want 1", calls)
+	}
+	st := s.Stats()
+	if st.Builds != 1 || st.MemHits != 2 {
+		t.Fatalf("stats %+v: want 1 build, 2 mem hits", st)
+	}
+}
+
+// TestSingleflightCoalesces pins the daemon's batching guarantee: N
+// concurrent Gets for one key run the build exactly once, and followers
+// join the flight without consuming gate capacity (the gate here has one
+// slot and no queue, so a follower needing a slot would be refused).
+func TestSingleflightCoalesces(t *testing.T) {
+	s := newStore(t, Config{MaxActive: 1, MaxQueue: -1})
+	const followers = 8
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var builds int
+	build := func(context.Context) ([]byte, error) {
+		builds++
+		close(entered)
+		<-release
+		return []byte("shared"), nil
+	}
+
+	errs := make([]error, followers+1)
+	vals := make([][]byte, followers+1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		vals[0], errs[0] = s.Get(context.Background(), "k", build)
+	}()
+	<-entered // leader is inside the build; everyone else must coalesce
+
+	for i := 1; i <= followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			vals[i], errs[i] = s.Get(context.Background(), "k", build)
+		}(i)
+	}
+	// Wait until every follower has joined the flight, then let the
+	// build finish.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Coalesced < followers {
+		if time.Now().After(deadline) {
+			t.Fatalf("followers never coalesced: %+v", s.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil || string(vals[i]) != "shared" {
+			t.Fatalf("caller %d: %q, %v", i, vals[i], err)
+		}
+	}
+	if builds != 1 {
+		t.Fatalf("build ran %d times, want 1", builds)
+	}
+	if st := s.Stats(); st.Builds != 1 || st.Coalesced != followers {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestBackpressureRefusesWhenFull pins the overload contract: with one
+// active slot and a one-deep queue, the third concurrent distinct build is
+// refused with ErrBusy instead of waiting unboundedly.
+func TestBackpressureRefusesWhenFull(t *testing.T) {
+	s := newStore(t, Config{MaxActive: 1, MaxQueue: 1})
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	slow := func(context.Context) ([]byte, error) {
+		close(entered)
+		<-release
+		return []byte("a"), nil
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := s.Get(context.Background(), "a", slow); err != nil {
+			t.Errorf("active build: %v", err)
+		}
+	}()
+	<-entered
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := s.Get(context.Background(), "b", constBuild([]byte("b"))); err != nil {
+			t.Errorf("queued build: %v", err)
+		}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Queued < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("second build never queued: %+v", s.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if _, err := s.Get(context.Background(), "c", constBuild([]byte("c"))); !errors.Is(err, ErrBusy) {
+		t.Fatalf("third build: err = %v, want ErrBusy", err)
+	}
+	if st := s.Stats(); st.Rejected != 1 {
+		t.Fatalf("stats %+v: want 1 rejection", st)
+	}
+	close(release)
+	wg.Wait()
+}
+
+// TestNoQueueMode: MaxQueue < 0 refuses as soon as the slots are taken.
+func TestNoQueueMode(t *testing.T) {
+	s := newStore(t, Config{MaxActive: 1, MaxQueue: -1})
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.Get(context.Background(), "a", func(context.Context) ([]byte, error) {
+			close(entered)
+			<-release
+			return []byte("a"), nil
+		})
+	}()
+	<-entered
+	if _, err := s.Get(context.Background(), "b", constBuild(nil)); !errors.Is(err, ErrBusy) {
+		t.Fatalf("err = %v, want ErrBusy", err)
+	}
+	close(release)
+	wg.Wait()
+}
+
+// TestCanceledWhileQueued: a builder waiting for a slot honors its
+// context instead of holding the queue position forever.
+func TestCanceledWhileQueued(t *testing.T) {
+	s := newStore(t, Config{MaxActive: 1, MaxQueue: 4})
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.Get(context.Background(), "a", func(context.Context) ([]byte, error) {
+			close(entered)
+			<-release
+			return []byte("a"), nil
+		})
+	}()
+	<-entered
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, err := s.Get(ctx, "b", constBuild(nil))
+		done <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Queued < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("build never queued: %+v", s.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	close(release)
+	wg.Wait()
+	if st := s.Stats(); st.Queued != 0 {
+		t.Fatalf("queue not drained: %+v", st)
+	}
+}
+
+// TestFollowerTimeout: a follower whose context expires stops waiting; the
+// leader's build continues and lands in the cache.
+func TestFollowerTimeout(t *testing.T) {
+	s := newStore(t, Config{})
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.Get(context.Background(), "k", func(context.Context) ([]byte, error) {
+			close(entered)
+			<-release
+			return []byte("late"), nil
+		})
+	}()
+	<-entered
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := s.Get(ctx, "k", constBuild(nil)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("follower err = %v, want DeadlineExceeded", err)
+	}
+	close(release)
+	wg.Wait()
+	if got, ok := s.Peek("k"); !ok || string(got) != "late" {
+		t.Fatalf("leader's build not cached: %q, %v", got, ok)
+	}
+}
+
+// TestBuildErrorsNotCached: a failed build surfaces its error and the next
+// Get retries — transient daemon failures must not poison a hash forever.
+func TestBuildErrorsNotCached(t *testing.T) {
+	s := newStore(t, Config{})
+	boom := errors.New("boom")
+	calls := 0
+	if _, err := s.Get(context.Background(), "k", func(context.Context) ([]byte, error) {
+		calls++
+		return nil, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	got, err := s.Get(context.Background(), "k", func(context.Context) ([]byte, error) {
+		calls++
+		return []byte("ok"), nil
+	})
+	if err != nil || string(got) != "ok" {
+		t.Fatalf("retry: %q, %v", got, err)
+	}
+	if calls != 2 {
+		t.Fatalf("build ran %d times, want 2", calls)
+	}
+	if st := s.Stats(); st.BuildErrors != 1 || st.Builds != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestDiskSpillRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := newStore(t, Config{Dir: dir})
+	want := bytes.Repeat([]byte("p"), 4096)
+	if _, err := s.Get(context.Background(), "abc123", constBuild(want)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "abc123.plan")); err != nil {
+		t.Fatalf("plan not spilled: %v", err)
+	}
+
+	// A fresh store over the same directory serves the plan from disk
+	// without building.
+	s2 := newStore(t, Config{Dir: dir})
+	got, err := s2.Get(context.Background(), "abc123", func(context.Context) ([]byte, error) {
+		t.Fatal("build ran despite disk spill")
+		return nil, nil
+	})
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("disk read: %d bytes, %v", len(got), err)
+	}
+	if st := s2.Stats(); st.DiskHits != 1 || st.Builds != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+
+	// Peek promotes the disk copy without building, on yet another store.
+	s3 := newStore(t, Config{Dir: dir})
+	if got, ok := s3.Peek("abc123"); !ok || !bytes.Equal(got, want) {
+		t.Fatalf("peek: %d bytes, %v", len(got), ok)
+	}
+}
+
+// TestDiskPathRejectsHostileKeys: keys that could escape the spill
+// directory never touch the filesystem.
+func TestDiskPathRejectsHostileKeys(t *testing.T) {
+	s := newStore(t, Config{Dir: t.TempDir()})
+	for _, key := range []string{"../etc/passwd", "a/b", "", ".hidden", "a b"} {
+		if p := s.diskPath(key); p != "" {
+			t.Errorf("key %q mapped to %q, want rejection", key, p)
+		}
+	}
+	if p := s.diskPath("sha-256_OK.v1"); p == "" {
+		t.Error("benign key rejected")
+	}
+}
+
+// TestLRUEvicts: the memory cache drops cold entries once over budget and
+// the newest value always stays resident.
+func TestLRUEvicts(t *testing.T) {
+	s := newStore(t, Config{MaxBytes: 10})
+	for i := 0; i < 4; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if _, err := s.Get(context.Background(), key, constBuild([]byte("1234"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.CachedBytes > 10 {
+		t.Fatalf("cache over budget: %+v", st)
+	}
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions: %+v", st)
+	}
+	if _, ok := s.Peek("k3"); !ok {
+		t.Fatal("newest entry evicted")
+	}
+	if _, ok := s.Peek("k0"); ok {
+		t.Fatal("oldest entry survived a full cache")
+	}
+}
+
+func TestRetryAfterBounds(t *testing.T) {
+	s := newStore(t, Config{})
+	if got := s.RetryAfter(); got != time.Second {
+		t.Fatalf("cold RetryAfter = %v, want 1s", got)
+	}
+	s.observeBuild(int64(5 * time.Second))
+	if got := s.RetryAfter(); got < time.Second || got > time.Minute {
+		t.Fatalf("RetryAfter = %v out of [1s, 60s]", got)
+	}
+	s.observeBuild(int64(10 * time.Minute))
+	if got := s.RetryAfter(); got != time.Minute {
+		t.Fatalf("RetryAfter = %v, want 60s clamp", got)
+	}
+}

@@ -24,7 +24,11 @@ func (m *CSR) Row(r int) ([]int32, []float64) {
 }
 
 // Validate checks structural invariants: monotone row pointers covering all
-// nonzeros, in-range sorted column indices within each row.
+// nonzeros, in-range sorted column indices within each row. Monotonicity is
+// established for the whole pointer array before any pointer is used to
+// index Cols — a decoded-from-disk CSR (hotcore.ReadPlan) can carry a
+// locally increasing but globally non-monotone RowPtr (e.g. [0, 10, 5])
+// whose early rows would otherwise index past the column slice.
 func (m *CSR) Validate() error {
 	if m.N <= 0 {
 		return fmt.Errorf("sparse: non-positive dimension %d", m.N)
@@ -43,6 +47,8 @@ func (m *CSR) Validate() error {
 		if m.RowPtr[r] > m.RowPtr[r+1] {
 			return fmt.Errorf("sparse: RowPtr not monotone at row %d", r)
 		}
+	}
+	for r := 0; r < m.N; r++ {
 		for i := m.RowPtr[r]; i < m.RowPtr[r+1]; i++ {
 			if m.Cols[i] < 0 || int(m.Cols[i]) >= m.N {
 				return fmt.Errorf("sparse: row %d col %d out of range for N=%d", r, m.Cols[i], m.N)

@@ -261,8 +261,16 @@ func (g *Grid) PanelUniqRowsScratch(tr int, keep func(i int) bool, seen []bool) 
 
 // Validate checks the grid's structural invariants: tiles ordered by
 // (TR, TC), spans contiguous and covering, stats consistent, and all
-// nonzeros inside their tile's bounds.
+// nonzeros inside their tile's bounds. Slice lengths and span bounds are
+// checked before any indexing: hotcore.ReadPlan runs this on gob-decoded
+// grids, where a corrupt stream can produce ragged coordinate slices or
+// spans pointing past them, and Validate must reject those rather than
+// panic.
 func (g *Grid) Validate() error {
+	if len(g.Rows) != len(g.Vals) || len(g.Cols) != len(g.Vals) {
+		return fmt.Errorf("tile: ragged coordinate slices: rows=%d cols=%d vals=%d",
+			len(g.Rows), len(g.Cols), len(g.Vals))
+	}
 	prev := 0
 	for i := range g.Tiles {
 		t := &g.Tiles[i]
@@ -271,6 +279,9 @@ func (g *Grid) Validate() error {
 		}
 		if t.End <= t.Start {
 			return fmt.Errorf("tile: tile %d empty or inverted span", i)
+		}
+		if t.End > len(g.Vals) {
+			return fmt.Errorf("tile: tile %d span ends at %d beyond %d nonzeros", i, t.End, len(g.Vals))
 		}
 		prev = t.End
 		if i > 0 {

@@ -1,0 +1,63 @@
+#!/bin/sh
+# servesmoke: end-to-end exercise of the hottilesd daemon through real
+# processes and a real port. Starts the daemon on an ephemeral port, runs
+# planload's smoke round trip (upload → plan → fetch-by-hash → validate →
+# /metrics scrape), then sends SIGTERM and requires a clean drained exit.
+# Run from the repo root via `make servesmoke` (builds the binaries first).
+set -eu
+
+HOTTILESD=${HOTTILESD:-./bin/hottilesd}
+PLANLOAD=${PLANLOAD:-./bin/planload}
+
+log=$(mktemp)
+store=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+    [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+    rm -rf "$log" "$store"
+}
+trap cleanup EXIT INT TERM
+
+"$HOTTILESD" -addr 127.0.0.1:0 -store-dir "$store" 2>"$log" &
+daemon_pid=$!
+
+# The daemon logs "listening on http://HOST:PORT" once bound; poll for it.
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/.*listening on http:\/\/\([^ ]*\).*/\1/p' "$log" | head -1)
+    [ -n "$addr" ] && break
+    if ! kill -0 "$daemon_pid" 2>/dev/null; then
+        echo "servesmoke: daemon died during startup:" >&2
+        cat "$log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "servesmoke: daemon never reported its address:" >&2
+    cat "$log" >&2
+    exit 1
+fi
+echo "servesmoke: daemon on $addr"
+
+"$PLANLOAD" -addr "$addr" -smoke
+
+# A small concurrent burst through the real HTTP stack.
+"$PLANLOAD" -addr "$addr" -clients 8 -requests 32 -matrices 4 -sizes 256,512
+
+# Clean shutdown: SIGTERM must drain and exit 0.
+kill -TERM "$daemon_pid"
+rc=0
+wait "$daemon_pid" || rc=$?
+daemon_pid=""
+if [ "$rc" -ne 0 ]; then
+    echo "servesmoke: daemon exited $rc on SIGTERM:" >&2
+    cat "$log" >&2
+    exit 1
+fi
+grep -q "drained, bye" "$log" || {
+    echo "servesmoke: daemon did not report a drained shutdown:" >&2
+    cat "$log" >&2
+    exit 1
+}
+echo "servesmoke: OK"
