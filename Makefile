@@ -7,18 +7,19 @@
 
 GO ?= go
 
-# Packages whose coverage is gated (percent, integer). internal/obs is the
-# observability layer PR 2 introduced; its nil-receiver no-op paths are easy
-# to leave untested by accident, which is exactly what the floor catches.
-COVER_FLOOR_PKG = repro/internal/obs
-COVER_FLOOR     = 60
+# Packages whose coverage is gated ("pkg:floor" pairs, integer percent).
+# internal/obs is the observability layer PR 2 introduced; its nil-receiver
+# no-op paths are easy to leave untested by accident. internal/workload is
+# the PR 7 dynamic-workload engine, whose property/golden wall is the whole
+# point — a coverage drop there means the wall has holes.
+COVER_FLOORS = repro/internal/obs:60 repro/internal/workload:80
 
 # Seconds of coverage-guided fuzzing per fuzzer in `make fuzz`.
 FUZZTIME ?= 10s
 
-.PHONY: help ci vet fmtcheck build lint shadow test race bench benchsmoke benchcmp cover fuzz golden servesmoke
+.PHONY: help ci vet fmtcheck build lint shadow test race bench benchsmoke benchcmp cover fuzz golden servesmoke worksmoke
 
-ci: vet fmtcheck build lint shadow race cover benchsmoke benchcmp servesmoke
+ci: vet fmtcheck build lint shadow race cover benchsmoke benchcmp servesmoke worksmoke
 
 help:
 	@echo "make ci          - full gate: vet, fmtcheck, build, lint, shadow, race, cover, benchsmoke"
@@ -28,6 +29,7 @@ help:
 	@echo "                   with -benchmem and write BENCH_$(BENCH_PR).json via cmd/benchdiff;"
 	@echo "                   compare baselines with: ./bin/benchdiff old.json new.json"
 	@echo "make benchsmoke  - compile-and-run every benchmark once (catches bit-rot)"
+	@echo "make worksmoke   - tiny end-to-end spmmsim gnn+evolve run"
 	@echo "make benchcmp    - quick tracked-benchmark run vs the committed baseline"
 	@echo "make lint        - hottileslint analyzer suite (DESIGN.md §11)"
 	@echo "make cover       - coverage with per-package floor"
@@ -78,8 +80,9 @@ race:
 # simulator, and the experiment fan-out. Output lands in BENCH_$(BENCH_PR).json
 # (committed as this PR's baseline); diff two baselines with
 # `./bin/benchdiff [-threshold 1.25] BENCH_old.json BENCH_new.json`.
-BENCH_PR ?= 4
+BENCH_PR ?= 7
 TRACKED_BENCH = BenchmarkExperimentsFanout|BenchmarkTilePartition|BenchmarkModelEstimateGrid|BenchmarkSimulateHeterogeneous|BenchmarkPartitionHotTiles
+TRACKED_BENCH_WORKLOAD = BenchmarkGNNForward|BenchmarkEvolveReplan
 
 bin/benchdiff: FORCE
 	@mkdir -p bin
@@ -87,6 +90,7 @@ bin/benchdiff: FORCE
 
 bench: bin/benchdiff
 	{ $(GO) test -run=NONE -bench='BenchmarkEngine|BenchmarkWaterfill' -benchmem ./internal/sim && \
+	  $(GO) test -run=NONE -bench='$(TRACKED_BENCH_WORKLOAD)' -benchmem ./internal/workload && \
 	  $(GO) test -run=NONE -bench='$(TRACKED_BENCH)' -benchmem . ; } \
 	| tee /dev/stderr | ./bin/benchdiff -emit BENCH_$(BENCH_PR).json
 
@@ -105,25 +109,29 @@ benchsmoke:
 BENCHCMP_THRESHOLD ?= 4.0
 benchcmp: bin/benchdiff
 	{ $(GO) test -run=NONE -bench='BenchmarkEngine|BenchmarkWaterfill' -benchmem -benchtime=10ms ./internal/sim && \
+	  $(GO) test -run=NONE -bench='$(TRACKED_BENCH_WORKLOAD)' -benchmem -benchtime=10ms ./internal/workload && \
 	  $(GO) test -run=NONE -bench='$(TRACKED_BENCH)' -benchmem -benchtime=10ms . ; } \
 	| ./bin/benchdiff -emit bin/BENCH_head.json
 	./bin/benchdiff -threshold $(BENCHCMP_THRESHOLD) BENCH_$(BENCH_PR).json bin/BENCH_head.json
 
-# cover prints a per-package coverage summary and fails when the gated
+# cover prints a per-package coverage summary and fails when any gated
 # package drops below its floor.
 cover:
 	$(GO) test -count=1 -cover -coverprofile=coverage.out ./...
 	@$(GO) tool cover -func=coverage.out | tail -1
-	@pct=$$($(GO) test -count=1 -cover $(COVER_FLOOR_PKG) 2>/dev/null \
-		| sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p'); \
-	if [ -z "$$pct" ]; then \
-		echo "cover: no coverage reported for $(COVER_FLOOR_PKG)"; exit 1; \
-	fi; \
-	ok=$$(awk -v p="$$pct" -v f="$(COVER_FLOOR)" 'BEGIN { print (p >= f) ? 1 : 0 }'); \
-	if [ "$$ok" != 1 ]; then \
-		echo "cover: $(COVER_FLOOR_PKG) at $$pct% is below the $(COVER_FLOOR)% floor"; exit 1; \
-	fi; \
-	echo "cover: $(COVER_FLOOR_PKG) at $$pct% (floor $(COVER_FLOOR)%)"
+	@for pair in $(COVER_FLOORS); do \
+		pkg=$${pair%:*}; floor=$${pair##*:}; \
+		pct=$$($(GO) test -count=1 -cover $$pkg 2>/dev/null \
+			| sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p'); \
+		if [ -z "$$pct" ]; then \
+			echo "cover: no coverage reported for $$pkg"; exit 1; \
+		fi; \
+		ok=$$(awk -v p="$$pct" -v f="$$floor" 'BEGIN { print (p >= f) ? 1 : 0 }'); \
+		if [ "$$ok" != 1 ]; then \
+			echo "cover: $$pkg at $$pct% is below the $$floor% floor"; exit 1; \
+		fi; \
+		echo "cover: $$pkg at $$pct% (floor $$floor%)"; \
+	done
 
 # fuzz runs each fuzzer's coverage-guided loop for FUZZTIME — a smoke pass,
 # not a soak; the seed corpora also run in every plain `go test ./...`.
@@ -145,6 +153,13 @@ bin/planload: FORCE
 
 servesmoke: bin/hottilesd bin/planload
 	sh scripts/servesmoke.sh
+
+# worksmoke runs the dynamic-workload studies end to end through the real
+# CLI at a tiny scale — a CI guard that `spmmsim gnn evolve` keeps working
+# (the golden tests pin their numbers; this pins the binary path).
+worksmoke:
+	$(GO) run ./cmd/spmmsim -scale 2048 gnn evolve > /dev/null
+	@echo "worksmoke: spmmsim gnn + evolve ok"
 
 # golden regenerates the pinned experiment outputs after an intentional
 # change (review the diff before committing).

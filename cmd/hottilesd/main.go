@@ -9,6 +9,8 @@
 // Endpoints (one mux, one port):
 //
 //	POST /plan         MatrixMarket body → gob plan (X-Plan-Hash header)
+//	POST /gnn          MatrixMarket body → multi-layer GNN inference, JSON
+//	                   (?layers=N; reuses /plan's content-addressed cache)
 //	GET  /plan/{hash}  fetch a cached plan by content hash (404 if absent)
 //	GET  /healthz      liveness + store counters, JSON
 //	GET  /metrics      obs registry, Prometheus text exposition

@@ -68,6 +68,7 @@ func newServer(cfg config) (*server, error) {
 	s := &server{cfg: cfg, store: store}
 	mux := obs.DebugMux()
 	mux.HandleFunc("POST /plan", s.handleBuildPlan)
+	mux.HandleFunc("POST /gnn", s.handleGNN)
 	mux.HandleFunc("GET /plan/{hash}", s.handleGetPlan)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux = mux

@@ -293,6 +293,26 @@ var table = map[string]runner{
 		v.Render(w)
 		return nil
 	},
+	// Beyond the paper: the §VI-B multi-layer GNN inference loop, one plan
+	// amortized across layers (DESIGN.md §15).
+	"gnn": func(e *experiments.Env, w io.Writer) error {
+		g, err := e.GNN()
+		if err != nil {
+			return err
+		}
+		g.Render(w)
+		return nil
+	},
+	// Beyond the paper: evolving graphs with the model-driven re-plan
+	// trigger — the staleness-vs-re-plan-cost sweep (DESIGN.md §15).
+	"evolve": func(e *experiments.Env, w io.Writer) error {
+		s, err := e.Evolve()
+		if err != nil {
+			return err
+		}
+		s.Render(w)
+		return nil
+	},
 }
 
 func allNames() []string {

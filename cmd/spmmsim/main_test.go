@@ -19,7 +19,7 @@ func TestAllNamesOrdered(t *testing.T) {
 	// Figures first, numerically; then tables; extras last.
 	want := []string{"fig4", "fig5", "fig10", "fig11", "fig12", "fig13",
 		"fig14", "fig15", "fig16", "fig17", "fig18", "tab6", "tab7", "tab9",
-		"kernels", "reorder", "vislat"}
+		"evolve", "gnn", "kernels", "reorder", "vislat"}
 	if len(names) != len(want) {
 		t.Fatalf("names = %v", names)
 	}

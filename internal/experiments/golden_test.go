@@ -167,6 +167,22 @@ var goldenStudies = map[string]func(e *Env, w io.Writer) error{
 		v.Render(w)
 		return nil
 	},
+	"gnn": func(e *Env, w io.Writer) error {
+		g, err := e.GNN()
+		if err != nil {
+			return err
+		}
+		g.Render(w)
+		return nil
+	},
+	"evolve": func(e *Env, w io.Writer) error {
+		s, err := e.Evolve()
+		if err != nil {
+			return err
+		}
+		s.Render(w)
+		return nil
+	},
 }
 
 func TestGolden(t *testing.T) {

@@ -1,0 +1,110 @@
+package sparse
+
+import (
+	"fmt"
+	"slices"
+)
+
+// Edit is one mutation of an evolving matrix: setting the value at a
+// coordinate (an edge insert, or a weight update when the edge already
+// exists) or deleting the coordinate (Del true; Val is ignored). Streams of
+// edits model the evolving-graph workloads GNN systems see between
+// inference batches.
+type Edit struct {
+	Row, Col int32
+	Val      float64
+	Del      bool
+}
+
+// ApplyEdits applies an edit stream to a row-major deduplicated matrix
+// incrementally: one merge pass over the existing nonzeros and the sorted
+// edits, O(nnz + len(edits)·log(len(edits))), instead of re-sorting the
+// whole matrix. Stream order is honored — when several edits touch one
+// coordinate, the last one wins. Deleting an absent coordinate is a no-op.
+// The matrix remains row-major and deduplicated, so the result is
+// indistinguishable from rebuilding the matrix from scratch with the same
+// final edge set (the invariant the evolving-workload property tests pin).
+func (m *COO) ApplyEdits(edits []Edit) error {
+	if len(edits) == 0 {
+		return nil
+	}
+	for i, e := range edits {
+		if e.Row < 0 || int(e.Row) >= m.N || e.Col < 0 || int(e.Col) >= m.N {
+			return fmt.Errorf("sparse: edit %d at (%d,%d) out of range for N=%d",
+				i, e.Row, e.Col, m.N)
+		}
+	}
+
+	// Sort a private copy by coordinate, stably, so stream order survives
+	// within each coordinate; then keep only the last edit per coordinate.
+	es := append([]Edit(nil), edits...)
+	slices.SortStableFunc(es, func(a, b Edit) int {
+		switch {
+		case a.Row != b.Row:
+			return int(a.Row) - int(b.Row)
+		case a.Col != b.Col:
+			return int(a.Col) - int(b.Col)
+		default:
+			return 0
+		}
+	})
+	w := 0
+	for i := 1; i < len(es); i++ {
+		if es[i].Row == es[w].Row && es[i].Col == es[w].Col {
+			es[w] = es[i]
+			continue
+		}
+		w++
+		es[w] = es[i]
+	}
+	es = es[:w+1]
+
+	// Merge the sorted edits into the row-major nonzeros.
+	nnz := m.NNZ()
+	rows := make([]int32, 0, nnz+len(es))
+	cols := make([]int32, 0, nnz+len(es))
+	vals := make([]float64, 0, nnz+len(es))
+	i, j := 0, 0
+	for i < nnz && j < len(es) {
+		cmp := int(m.Rows[i]) - int(es[j].Row)
+		if cmp == 0 {
+			cmp = int(m.Cols[i]) - int(es[j].Col)
+		}
+		switch {
+		case cmp < 0: // existing nonzero untouched by the stream
+			rows = append(rows, m.Rows[i])
+			cols = append(cols, m.Cols[i])
+			vals = append(vals, m.Vals[i])
+			i++
+		case cmp > 0: // edit at a coordinate with no existing nonzero
+			if !es[j].Del {
+				rows = append(rows, es[j].Row)
+				cols = append(cols, es[j].Col)
+				vals = append(vals, es[j].Val)
+			}
+			j++
+		default: // edit overwrites (or deletes) an existing nonzero
+			if !es[j].Del {
+				rows = append(rows, es[j].Row)
+				cols = append(cols, es[j].Col)
+				vals = append(vals, es[j].Val)
+			}
+			i++
+			j++
+		}
+	}
+	for ; i < nnz; i++ {
+		rows = append(rows, m.Rows[i])
+		cols = append(cols, m.Cols[i])
+		vals = append(vals, m.Vals[i])
+	}
+	for ; j < len(es); j++ {
+		if !es[j].Del {
+			rows = append(rows, es[j].Row)
+			cols = append(cols, es[j].Col)
+			vals = append(vals, es[j].Val)
+		}
+	}
+	m.Rows, m.Cols, m.Vals = rows, cols, vals
+	return nil
+}

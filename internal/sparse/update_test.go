@@ -1,0 +1,158 @@
+package sparse
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// naiveApply is the from-scratch reference: each edit applied one at a time
+// with a linear search, the result re-sorted at the end. Quadratic, but
+// unarguably correct — the property tests pin ApplyEdits against it.
+func naiveApply(m *COO, edits []Edit) *COO {
+	type coord struct{ r, c int32 }
+	vals := map[coord]float64{}
+	order := make([]coord, 0, m.NNZ())
+	for i := 0; i < m.NNZ(); i++ {
+		k := coord{m.Rows[i], m.Cols[i]}
+		vals[k] = m.Vals[i]
+		order = append(order, k)
+	}
+	for _, e := range edits {
+		k := coord{e.Row, e.Col}
+		_, exists := vals[k]
+		if e.Del {
+			if exists {
+				delete(vals, k)
+				for i, o := range order {
+					if o == k {
+						order = append(order[:i], order[i+1:]...)
+						break
+					}
+				}
+			}
+			continue
+		}
+		if !exists {
+			order = append(order, k)
+		}
+		vals[k] = e.Val
+	}
+	out := NewCOO(m.N, len(order))
+	for _, k := range order {
+		out.Append(k.r, k.c, vals[k])
+	}
+	out.SortRowMajor()
+	// ApplyEdits always reallocates exact-content slices; normalize the
+	// reference the same way so DeepEqual compares content, not capacity.
+	out.Rows = append([]int32{}, out.Rows...)
+	out.Cols = append([]int32{}, out.Cols...)
+	out.Vals = append([]float64{}, out.Vals...)
+	return out
+}
+
+// randomEdits draws a mixed insert/update/delete stream: deletes and
+// updates target existing coordinates (when any exist), inserts are
+// uniform.
+func randomEdits(rng *rand.Rand, m *COO, n int) []Edit {
+	edits := make([]Edit, 0, n)
+	for i := 0; i < n; i++ {
+		switch {
+		case m.NNZ() > 0 && rng.Intn(3) == 0: // delete an existing edge
+			j := rng.Intn(m.NNZ())
+			edits = append(edits, Edit{Row: m.Rows[j], Col: m.Cols[j], Del: true})
+		case m.NNZ() > 0 && rng.Intn(3) == 0: // update an existing edge
+			j := rng.Intn(m.NNZ())
+			edits = append(edits, Edit{Row: m.Rows[j], Col: m.Cols[j], Val: rng.Float64() + 0.5})
+		default: // insert (possibly colliding with an existing edge)
+			edits = append(edits, Edit{
+				Row: int32(rng.Intn(m.N)), Col: int32(rng.Intn(m.N)),
+				Val: rng.Float64() + 0.5,
+			})
+		}
+	}
+	return edits
+}
+
+// TestApplyEditsMatchesRebuild is the archetype property: after any random
+// sequence of edit batches, the incrementally-maintained matrix is
+// DeepEqual to one rebuilt from scratch, stays row-major, deduplicated and
+// valid.
+func TestApplyEditsMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 8 + rng.Intn(64)
+		m := randomCOO(rng, n, rng.Intn(4*n))
+		want := m.Clone()
+		// Normalize the clone's slices like naiveApply does.
+		var allEdits []Edit
+		for batch := 0; batch < 1+rng.Intn(4); batch++ {
+			edits := randomEdits(rng, m, rng.Intn(3*n))
+			allEdits = append(allEdits, edits...)
+			if err := m.ApplyEdits(edits); err != nil {
+				t.Fatalf("trial %d batch %d: %v", trial, batch, err)
+			}
+			if err := m.Validate(); err != nil {
+				t.Fatalf("trial %d batch %d: invalid after edits: %v", trial, batch, err)
+			}
+		}
+		rebuilt := naiveApply(want, allEdits)
+		if m.NNZ() == 0 && rebuilt.NNZ() == 0 {
+			continue // both empty; slice identities may differ trivially
+		}
+		if !reflect.DeepEqual(m.Rows, rebuilt.Rows) ||
+			!reflect.DeepEqual(m.Cols, rebuilt.Cols) ||
+			!reflect.DeepEqual(m.Vals, rebuilt.Vals) || m.N != rebuilt.N {
+			t.Fatalf("trial %d: incremental result diverged from scratch rebuild\n"+
+				"incremental: nnz=%d\nrebuilt:     nnz=%d", trial, m.NNZ(), rebuilt.NNZ())
+		}
+	}
+}
+
+func TestApplyEditsSemantics(t *testing.T) {
+	m := NewCOO(4, 0)
+	m.Append(0, 1, 1)
+	m.Append(2, 3, 2)
+
+	// Insert, update, delete, and last-edit-wins in one stream.
+	err := m.ApplyEdits([]Edit{
+		{Row: 1, Col: 1, Val: 9},             // insert
+		{Row: 0, Col: 1, Val: 5},             // update existing
+		{Row: 2, Col: 3, Del: true},          // delete existing
+		{Row: 3, Col: 3, Del: true},          // delete absent: no-op
+		{Row: 1, Col: 1, Val: 7},             // later edit to the same coord wins
+		{Row: 1, Col: 1, Del: true},          // ...and later still: deleted
+		{Row: 3, Col: 0, Del: true},          // delete then insert
+		{Row: 3, Col: 0, Val: 4, Del: false}, // insert after delete survives
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := map[[2]int32]float64{{0, 1}: 5, {3, 0}: 4}
+	if m.NNZ() != len(want) {
+		t.Fatalf("nnz = %d, want %d", m.NNZ(), len(want))
+	}
+	for i := 0; i < m.NNZ(); i++ {
+		r, c, v := m.At(i)
+		if want[[2]int32{r, c}] != v {
+			t.Fatalf("unexpected nonzero (%d,%d)=%g", r, c, v)
+		}
+	}
+}
+
+func TestApplyEditsRejectsOutOfRange(t *testing.T) {
+	m := NewCOO(4, 0)
+	for _, e := range []Edit{
+		{Row: -1, Col: 0}, {Row: 0, Col: -1}, {Row: 4, Col: 0}, {Row: 0, Col: 4},
+	} {
+		if err := m.ApplyEdits([]Edit{e}); err == nil {
+			t.Fatalf("edit %+v accepted, want range error", e)
+		}
+	}
+	if err := m.ApplyEdits(nil); err != nil {
+		t.Fatalf("empty stream: %v", err)
+	}
+}

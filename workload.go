@@ -1,0 +1,75 @@
+package hottiles
+
+import (
+	"context"
+
+	"repro/internal/sparse"
+	"repro/internal/workload"
+)
+
+// Dynamic workloads (DESIGN.md §15): the multi-layer GNN forward pass that
+// amortizes one plan across layers, the batched multi-tenant executor, and
+// the evolving-graph driver with the model-driven re-plan trigger.
+type (
+	// GNNConfig configures RunGNN; GNNResult reports the forward pass.
+	GNNConfig = workload.GNNConfig
+	GNNResult = workload.GNNResult
+	// BatchRequest is one kernel invocation of a multi-tenant batch;
+	// BatchOptions and BatchResult configure and report RunBatch.
+	BatchRequest  = workload.Request
+	BatchOptions  = workload.BatchOptions
+	BatchResult   = workload.BatchResult
+	RequestResult = workload.RequestResult
+	// Edit is one edge insert/update/delete of an evolving matrix.
+	Edit = sparse.Edit
+	// EvolveConfig configures EvolveAndSimulate; EvolveResult reports the
+	// run, one EvolveStep per edit batch.
+	EvolveConfig = workload.EvolveConfig
+	EvolveResult = workload.EvolveResult
+	EvolveStep   = workload.EvolveStep
+)
+
+// RunGNN runs a multi-layer GNN forward pass: the adjacency matrix is
+// partitioned once, then every layer is simulated with the same plan, each
+// layer's output passing through ReLU into the next layer's dense operand —
+// the paper's train-once/infer-many amortization (§VI-B) made executable.
+func RunGNN(ctx context.Context, m *Matrix, a *Arch, features *Dense, cfg GNNConfig) (*GNNResult, error) {
+	return workload.GNN(ctx, m, a, features, cfg)
+}
+
+// RunGNNWithPlan is RunGNN with a prebuilt plan (from Partition, ReadPlan,
+// or a plan cache), skipping preprocessing entirely.
+func RunGNNWithPlan(ctx context.Context, p *Plan, a *Arch, features *Dense, cfg GNNConfig) (*GNNResult, error) {
+	return workload.GNNWithPlan(ctx, p, a, features, cfg)
+}
+
+// RunBatch executes a mixed-kernel multi-tenant batch (SpMM, SpMV, SDDMM)
+// over one shared simulated accelerator: preprocessing and per-request
+// simulation fan out in parallel with plans deduplicated within the batch,
+// and the schedule merge is a deterministic serial FIFO pass in submission
+// order.
+func RunBatch(ctx context.Context, a *Arch, reqs []BatchRequest, opts BatchOptions) (*BatchResult, error) {
+	return workload.RunBatch(ctx, a, reqs, opts)
+}
+
+// EvolveAndSimulate applies batches of edge edits to a working copy of m
+// (the input is never mutated), maintaining the matrix incrementally and
+// re-partitioning — through the same cancellable pipeline as PartitionCtx —
+// only when the analytical model predicts the stale plan's runtime has
+// drifted past cfg.Threshold. Each batch ends with one simulated inference
+// run, exposing the staleness-vs-re-plan-cost trade-off.
+func EvolveAndSimulate(ctx context.Context, m *Matrix, a *Arch, batches [][]Edit, cfg EvolveConfig) (*EvolveResult, error) {
+	return workload.Evolve(ctx, m, a, batches, cfg)
+}
+
+// NewEditStream generates a deterministic evolving-graph edit stream
+// against m: steps batches, each with insertsPer preferential-attachment
+// edge inserts and deletesPer uniform deletes of live edges.
+func NewEditStream(seed int64, m *Matrix, steps, insertsPer, deletesPer int) ([][]Edit, error) {
+	return workload.EditStream(seed, m, steps, insertsPer, deletesPer)
+}
+
+// ApplyEdits applies an edit stream to m incrementally, in one merge pass,
+// preserving the row-major deduplicated invariant. Later edits to the same
+// coordinate win; deleting an absent coordinate is a no-op.
+func ApplyEdits(m *Matrix, edits []Edit) error { return m.ApplyEdits(edits) }
