@@ -31,7 +31,9 @@ help:
 	@echo "make benchsmoke  - compile-and-run every benchmark once (catches bit-rot)"
 	@echo "make worksmoke   - tiny end-to-end spmmsim gnn+evolve run"
 	@echo "make benchcmp    - quick tracked-benchmark run vs the committed baseline"
-	@echo "make lint        - hottileslint analyzer suite (DESIGN.md §11)"
+	@echo "make lint        - hottileslint analyzer suite (DESIGN.md §11, §16), eleven passes:"
+	@echo "                   mapiter nakedgo spanend floateq lockcopy shadow"
+	@echo "                   hotalloc detrand ctxflow errwrap metricname"
 	@echo "make cover       - coverage with per-package floor"
 	@echo "make fuzz        - short coverage-guided fuzz pass (FUZZTIME=$(FUZZTIME))"
 	@echo "make golden      - regenerate pinned experiment outputs (review the diff!)"
@@ -80,9 +82,10 @@ race:
 # simulator, and the experiment fan-out. Output lands in BENCH_$(BENCH_PR).json
 # (committed as this PR's baseline); diff two baselines with
 # `./bin/benchdiff [-threshold 1.25] BENCH_old.json BENCH_new.json`.
-BENCH_PR ?= 7
+BENCH_PR ?= 8
 TRACKED_BENCH = BenchmarkExperimentsFanout|BenchmarkTilePartition|BenchmarkModelEstimateGrid|BenchmarkSimulateHeterogeneous|BenchmarkPartitionHotTiles
 TRACKED_BENCH_WORKLOAD = BenchmarkGNNForward|BenchmarkEvolveReplan
+TRACKED_BENCH_LINT = BenchmarkLintSuite
 
 bin/benchdiff: FORCE
 	@mkdir -p bin
@@ -91,6 +94,7 @@ bin/benchdiff: FORCE
 bench: bin/benchdiff
 	{ $(GO) test -run=NONE -bench='BenchmarkEngine|BenchmarkWaterfill' -benchmem ./internal/sim && \
 	  $(GO) test -run=NONE -bench='$(TRACKED_BENCH_WORKLOAD)' -benchmem ./internal/workload && \
+	  $(GO) test -run=NONE -bench='$(TRACKED_BENCH_LINT)' -benchmem ./internal/analysis && \
 	  $(GO) test -run=NONE -bench='$(TRACKED_BENCH)' -benchmem . ; } \
 	| tee /dev/stderr | ./bin/benchdiff -emit BENCH_$(BENCH_PR).json
 
@@ -110,6 +114,7 @@ BENCHCMP_THRESHOLD ?= 4.0
 benchcmp: bin/benchdiff
 	{ $(GO) test -run=NONE -bench='BenchmarkEngine|BenchmarkWaterfill' -benchmem -benchtime=10ms ./internal/sim && \
 	  $(GO) test -run=NONE -bench='$(TRACKED_BENCH_WORKLOAD)' -benchmem -benchtime=10ms ./internal/workload && \
+	  $(GO) test -run=NONE -bench='$(TRACKED_BENCH_LINT)' -benchmem -benchtime=10ms ./internal/analysis && \
 	  $(GO) test -run=NONE -bench='$(TRACKED_BENCH)' -benchmem -benchtime=10ms . ; } \
 	| ./bin/benchdiff -emit bin/BENCH_head.json
 	./bin/benchdiff -threshold $(BENCHCMP_THRESHOLD) BENCH_$(BENCH_PR).json bin/BENCH_head.json

@@ -125,7 +125,7 @@ func readFile(path string) (*File, error) {
 	}
 	var f File
 	if err := json.Unmarshal(data, &f); err != nil {
-		return nil, fmt.Errorf("benchdiff: %s: %v", path, err)
+		return nil, fmt.Errorf("benchdiff: %s: %w", path, err)
 	}
 	if f.Benchmarks == nil {
 		return nil, fmt.Errorf("benchdiff: %s: no benchmarks", path)

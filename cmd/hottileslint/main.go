@@ -102,7 +102,7 @@ func run(args []string) int {
 	// vettool over one package unit.
 	rest := fs.Args()
 	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
-		return unitchecker.Main(rest[0], active, *asJSON)
+		return unitchecker.Main(rest[0], active, suite, *asJSON)
 	}
 
 	patterns := rest
@@ -122,7 +122,7 @@ func run(args []string) int {
 			return 1
 		}
 	}
-	diags, err := analysis.Run(pkgs, active)
+	diags, err := analysis.RunChecked(pkgs, active, suite)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hottileslint:", err)
 		return 1

@@ -142,7 +142,167 @@ func Leak(fn func()) {
 
 func writeFile(t *testing.T, path, content string) {
 	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
 	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// writeSyntheticModule lays out a scratch module whose package paths mirror
+// the scoped suffixes (internal/sim, internal/obs) and which violates every
+// analyzer in the suite exactly once.
+func writeSyntheticModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module scratch\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "internal", "obs", "obs.go"), `// Package obs stubs the observability surface the suite matches by path.
+package obs
+
+type Tracer struct{}
+
+func (t *Tracer) Phase(name string) *Span { return &Span{} }
+
+type Span struct{}
+
+func (s *Span) Start(name string, attrs ...string) *Span { return &Span{} }
+func (s *Span) End()                                     {}
+
+type Counter struct{}
+
+func NewCounter(name string) *Counter { return &Counter{} }
+`)
+	writeFile(t, filepath.Join(dir, "internal", "sim", "sim.go"), `// Package sim trips the path-scoped analyzers.
+package sim
+
+import (
+	"context"
+	"time"
+)
+
+//hot:path
+func Table() map[int]int {
+	return map[int]int{1: 2} // hotalloc
+}
+
+func Seed() int64 { return time.Now().UnixNano() } // detrand
+
+func Mint() context.Context { return context.Background() } // ctxflow
+
+func Close(a, b float64) bool { return a*2 == b+1 } // floateq
+`)
+	writeFile(t, filepath.Join(dir, "work", "work.go"), `// Package work trips the repo-wide analyzers.
+package work
+
+import (
+	"fmt"
+	"sync"
+
+	"scratch/internal/obs"
+)
+
+var reqs = obs.NewCounter("Bad.Name") // metricname
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func byValue(g guarded) int { return g.n } // lockcopy
+
+func Leak(fn func()) { go fn() } // nakedgo
+
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // mapiter
+	}
+	return keys
+}
+
+func Shadowed() int {
+	len := 3 // shadow
+	return len
+}
+
+func Wrap(err error) error {
+	return fmt.Errorf("work: %v", err) // errwrap
+}
+
+func Open(tr *obs.Tracer) {
+	tr.Phase("exec").Start("job") // spanend
+}
+`)
+	return dir
+}
+
+// suiteMessages maps each analyzer to a substring unique to the diagnostic
+// the synthetic module provokes from it.
+var suiteMessages = map[string]string{
+	"mapiter":    "inside range over map without a following sort",
+	"nakedgo":    "raw go statement",
+	"spanend":    "result of Start discarded",
+	"floateq":    "exact == on floating point",
+	"lockcopy":   "passes lock by value",
+	"shadow":     "shadows the predeclared builtin",
+	"hotalloc":   "map literal in hot path",
+	"detrand":    "time.Now in deterministic core",
+	"ctxflow":    "context.Background below the facade",
+	"errwrap":    "loses the chain",
+	"metricname": "does not match the registry grammar",
+}
+
+// TestVetSyntheticModule drives the real `go vet -vettool` protocol over
+// the synthetic module: all eleven analyzers must fire through the
+// unitchecker path, and the per-analyzer vet flags must select and disable
+// passes exactly as in standalone mode.
+func TestVetSyntheticModule(t *testing.T) {
+	bin := buildTool(t)
+	dir := writeSyntheticModule(t)
+
+	vet := func(extra ...string) string {
+		t.Helper()
+		args := append([]string{"vet", "-vettool=" + bin}, extra...)
+		args = append(args, "./...")
+		cmd := exec.Command("go", args...)
+		cmd.Dir = dir
+		out, _ := cmd.CombinedOutput()
+		return string(out)
+	}
+
+	out := vet()
+	for name, msg := range suiteMessages {
+		if !strings.Contains(out, msg) {
+			t.Errorf("full vet run missing %s diagnostic (%q):\n%s", name, msg, out)
+		}
+	}
+
+	// Selection: -nakedgo runs only nakedgo.
+	out = vet("-nakedgo")
+	if !strings.Contains(out, suiteMessages["nakedgo"]) {
+		t.Errorf("-nakedgo selection lost its own finding:\n%s", out)
+	}
+	for name, msg := range suiteMessages {
+		if name == "nakedgo" {
+			continue
+		}
+		if strings.Contains(out, msg) {
+			t.Errorf("-nakedgo selection still ran %s:\n%s", name, out)
+		}
+	}
+
+	// Disabling: -nakedgo=false runs everything else.
+	out = vet("-nakedgo=false")
+	if strings.Contains(out, suiteMessages["nakedgo"]) {
+		t.Errorf("-nakedgo=false still reported nakedgo:\n%s", out)
+	}
+	for name, msg := range suiteMessages {
+		if name == "nakedgo" {
+			continue
+		}
+		if !strings.Contains(out, msg) {
+			t.Errorf("-nakedgo=false lost the %s finding (%q):\n%s", name, msg, out)
+		}
 	}
 }

@@ -13,6 +13,7 @@ package main
 import (
 	"bytes"
 	"cmp"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -26,7 +27,7 @@ import (
 	"repro/internal/par"
 )
 
-type runner func(e *experiments.Env, w io.Writer) error
+type runner func(ctx context.Context, e *experiments.Env, w io.Writer) error
 
 // studyWallHist records each experiment's end-to-end wall time.
 var studyWallHist = obs.NewHistogram("spmmsim.study.wall.ns")
@@ -91,6 +92,11 @@ func main() {
 		e.SetTracer(tr)
 	}
 
+	// The process-root context: everything below the experiments facade
+	// inherits it (the ctxflow analyzer keeps internal code from minting
+	// its own).
+	ctx := context.Background()
+
 	studies := tl.Track("spmmsim/studies")
 	for _, name := range names {
 		r, ok := table[name]
@@ -111,7 +117,7 @@ func main() {
 		doneProgress := obs.StartProgress(name)
 		sp := tr.Root().Start(name)
 		slice := studies.Start(name)
-		err := r(e, w)
+		err := r(ctx, e, w)
 		slice.End()
 		sp.End()
 		doneProgress()
@@ -149,7 +155,7 @@ func main() {
 }
 
 var table = map[string]runner{
-	"fig4": func(e *experiments.Env, w io.Writer) error {
+	"fig4": func(ctx context.Context, e *experiments.Env, w io.Writer) error {
 		studies, err := e.Fig4()
 		if err != nil {
 			return err
@@ -159,7 +165,7 @@ var table = map[string]runner{
 		}
 		return nil
 	},
-	"fig5": func(e *experiments.Env, w io.Writer) error {
+	"fig5": func(ctx context.Context, e *experiments.Env, w io.Writer) error {
 		f, err := e.Fig5()
 		if err != nil {
 			return err
@@ -167,7 +173,7 @@ var table = map[string]runner{
 		f.Render(w)
 		return nil
 	},
-	"fig10": func(e *experiments.Env, w io.Writer) error {
+	"fig10": func(ctx context.Context, e *experiments.Env, w io.Writer) error {
 		st, err := e.Fig10()
 		if err != nil {
 			return err
@@ -175,7 +181,7 @@ var table = map[string]runner{
 		st.Render(w)
 		return nil
 	},
-	"fig11": func(e *experiments.Env, w io.Writer) error {
+	"fig11": func(ctx context.Context, e *experiments.Env, w io.Writer) error {
 		st, err := e.Fig11()
 		if err != nil {
 			return err
@@ -183,7 +189,7 @@ var table = map[string]runner{
 		st.Render(w)
 		return nil
 	},
-	"fig12": func(e *experiments.Env, w io.Writer) error {
+	"fig12": func(ctx context.Context, e *experiments.Env, w io.Writer) error {
 		f, err := e.Fig12()
 		if err != nil {
 			return err
@@ -191,7 +197,7 @@ var table = map[string]runner{
 		f.Render(w)
 		return nil
 	},
-	"fig13": func(e *experiments.Env, w io.Writer) error {
+	"fig13": func(ctx context.Context, e *experiments.Env, w io.Writer) error {
 		f, err := e.Fig13()
 		if err != nil {
 			return err
@@ -199,7 +205,7 @@ var table = map[string]runner{
 		f.Render(w)
 		return nil
 	},
-	"fig14": func(e *experiments.Env, w io.Writer) error {
+	"fig14": func(ctx context.Context, e *experiments.Env, w io.Writer) error {
 		f, err := e.Fig14()
 		if err != nil {
 			return err
@@ -207,7 +213,7 @@ var table = map[string]runner{
 		f.Render(w)
 		return nil
 	},
-	"fig15": func(e *experiments.Env, w io.Writer) error {
+	"fig15": func(ctx context.Context, e *experiments.Env, w io.Writer) error {
 		studies, err := e.Fig15()
 		if err != nil {
 			return err
@@ -217,7 +223,7 @@ var table = map[string]runner{
 		}
 		return nil
 	},
-	"fig16": func(e *experiments.Env, w io.Writer) error {
+	"fig16": func(ctx context.Context, e *experiments.Env, w io.Writer) error {
 		f, err := e.Fig16()
 		if err != nil {
 			return err
@@ -225,7 +231,7 @@ var table = map[string]runner{
 		f.Render(w)
 		return nil
 	},
-	"fig17": func(e *experiments.Env, w io.Writer) error {
+	"fig17": func(ctx context.Context, e *experiments.Env, w io.Writer) error {
 		f, err := e.Fig17()
 		if err != nil {
 			return err
@@ -233,7 +239,7 @@ var table = map[string]runner{
 		f.Render(w)
 		return nil
 	},
-	"fig18": func(e *experiments.Env, w io.Writer) error {
+	"fig18": func(ctx context.Context, e *experiments.Env, w io.Writer) error {
 		f, err := e.Fig18()
 		if err != nil {
 			return err
@@ -241,7 +247,7 @@ var table = map[string]runner{
 		f.Render(w)
 		return nil
 	},
-	"tab6": func(e *experiments.Env, w io.Writer) error {
+	"tab6": func(ctx context.Context, e *experiments.Env, w io.Writer) error {
 		t, err := e.TableVI()
 		if err != nil {
 			return err
@@ -249,7 +255,7 @@ var table = map[string]runner{
 		t.Render(w)
 		return nil
 	},
-	"tab7": func(e *experiments.Env, w io.Writer) error {
+	"tab7": func(ctx context.Context, e *experiments.Env, w io.Writer) error {
 		t, err := e.TableVII()
 		if err != nil {
 			return err
@@ -257,7 +263,7 @@ var table = map[string]runner{
 		t.Render(w)
 		return nil
 	},
-	"tab9": func(e *experiments.Env, w io.Writer) error {
+	"tab9": func(ctx context.Context, e *experiments.Env, w io.Writer) error {
 		t, err := e.TableIX()
 		if err != nil {
 			return err
@@ -266,7 +272,7 @@ var table = map[string]runner{
 		return nil
 	},
 	// Beyond the paper: the §IX-D/§X reordering ablation.
-	"reorder": func(e *experiments.Env, w io.Writer) error {
+	"reorder": func(ctx context.Context, e *experiments.Env, w io.Writer) error {
 		r, err := e.Reorder()
 		if err != nil {
 			return err
@@ -275,7 +281,7 @@ var table = map[string]runner{
 		return nil
 	},
 	// Beyond the paper: §X's SpMV and SDDMM kernels on the suite.
-	"kernels": func(e *experiments.Env, w io.Writer) error {
+	"kernels": func(ctx context.Context, e *experiments.Env, w io.Writer) error {
 		k, err := e.Kernels()
 		if err != nil {
 			return err
@@ -285,7 +291,7 @@ var table = map[string]runner{
 	},
 	// Beyond the paper: robustness of the partitioning to vis_lat
 	// miscalibration (DESIGN.md §8).
-	"vislat": func(e *experiments.Env, w io.Writer) error {
+	"vislat": func(ctx context.Context, e *experiments.Env, w io.Writer) error {
 		v, err := e.VisLat()
 		if err != nil {
 			return err
@@ -295,8 +301,8 @@ var table = map[string]runner{
 	},
 	// Beyond the paper: the §VI-B multi-layer GNN inference loop, one plan
 	// amortized across layers (DESIGN.md §15).
-	"gnn": func(e *experiments.Env, w io.Writer) error {
-		g, err := e.GNN()
+	"gnn": func(ctx context.Context, e *experiments.Env, w io.Writer) error {
+		g, err := e.GNN(ctx)
 		if err != nil {
 			return err
 		}
@@ -305,8 +311,8 @@ var table = map[string]runner{
 	},
 	// Beyond the paper: evolving graphs with the model-driven re-plan
 	// trigger — the staleness-vs-re-plan-cost sweep (DESIGN.md §15).
-	"evolve": func(e *experiments.Env, w io.Writer) error {
-		s, err := e.Evolve()
+	"evolve": func(ctx context.Context, e *experiments.Env, w io.Writer) error {
+		s, err := e.Evolve(ctx)
 		if err != nil {
 			return err
 		}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"testing"
@@ -52,7 +53,7 @@ func TestEveryExperimentRunsAtTinyScale(t *testing.T) {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			e := newTestEnv()
-			if err := table[name](e, io.Discard); err != nil {
+			if err := table[name](context.Background(), e, io.Discard); err != nil {
 				t.Fatal(err)
 			}
 		})
@@ -76,7 +77,7 @@ func TestTimelineChromeSchema(t *testing.T) {
 	par.SetTimeline(tl)
 	defer par.SetTimeline(nil)
 
-	if err := table["fig10"](e, io.Discard); err != nil {
+	if err := table["fig10"](context.Background(), e, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 

@@ -35,6 +35,13 @@ type Analyzer struct {
 	// pass.Report. The error return is for operational failures (it aborts
 	// the run), not for findings.
 	Run func(pass *Pass) error
+	// Begin, if set, is called once at the start of each driver Run, before
+	// any package is analyzed. It exists for whole-suite state (metricname's
+	// cross-package collision map); such state is only complete when the
+	// driver sees the whole module in one invocation — unitchecker runs one
+	// package per process, so cross-package checks degrade to per-package
+	// there.
+	Begin func()
 }
 
 // Pass is the interface between the driver and one (analyzer, package)

@@ -14,6 +14,7 @@ package analysistest
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -54,6 +55,23 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
 		}
 		checkWants(t, l.fset, pkg, diags)
 	}
+}
+
+// LoadPackage loads one GOPATH-style package from dir/src/path and returns
+// it, for driver-level tests that call analysis.Run or analysis.RunChecked
+// directly instead of going through Run's want matching.
+func LoadPackage(t *testing.T, dir, path string) *analysis.Package {
+	t.Helper()
+	l := &loader{
+		srcdir: filepath.Join(dir, "src"),
+		fset:   token.NewFileSet(),
+		pkgs:   map[string]*analysis.Package{},
+	}
+	pkg, err := l.load(path)
+	if err != nil {
+		t.Fatalf("loading %s: %v", path, err)
+	}
+	return pkg
 }
 
 // want is one expectation: a regexp that must match a diagnostic message
@@ -234,7 +252,7 @@ func (l *loader) load(path string) (*analysis.Package, error) {
 	})}
 	tpkg, err := conf.Check(path, l.fset, files, info)
 	if err != nil {
-		return nil, fmt.Errorf("typecheck %s: %v", path, err)
+		return nil, fmt.Errorf("typecheck %s: %w", path, err)
 	}
 	pkg := &analysis.Package{
 		Path: path, Name: tpkg.Name(), Dir: dir,
@@ -263,14 +281,14 @@ func stdExportFiles() (map[string]string, error) {
 		out, err := exec.Command("go", "list", "-export", "-e",
 			"-json=ImportPath,Export", "std").Output()
 		if err != nil {
-			stdExports.err = fmt.Errorf("go list std: %v", err)
+			stdExports.err = fmt.Errorf("go list std: %w", err)
 			return
 		}
 		m := map[string]string{}
 		dec := json.NewDecoder(bytes.NewReader(out))
 		for {
 			var p struct{ ImportPath, Export string }
-			if err := dec.Decode(&p); err == io.EOF {
+			if err := dec.Decode(&p); errors.Is(err, io.EOF) {
 				break
 			} else if err != nil {
 				stdExports.err = err

@@ -1,0 +1,259 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// parseFunc type-checks one source file and returns the named function and
+// the populated type info.
+func parseFunc(t *testing.T, src, name string) (*ast.FuncDecl, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: importer.Default(), Error: func(error) {}}
+	if _, err := conf.Check("x", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("type check: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fd, info
+		}
+	}
+	t.Fatalf("function %s not found", name)
+	return nil, nil
+}
+
+func TestCFGShapes(t *testing.T) {
+	const src = `package x
+func f(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		if i == 3 {
+			continue
+		}
+		if i == 7 {
+			break
+		}
+		total += i
+	}
+	switch total {
+	case 0:
+		total = 1
+	case 1:
+		total = 2
+		fallthrough
+	case 2:
+		total = 3
+	}
+	return total
+}`
+	fd, _ := parseFunc(t, src, "f")
+	g := NewCFG(fd.Body)
+	if g.Entry == nil || len(g.Blocks) == 0 {
+		t.Fatal("empty CFG")
+	}
+	// Every node appears exactly once across blocks.
+	seen := map[ast.Node]bool{}
+	nodes := 0
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if seen[n] {
+				t.Errorf("node %T appears in two blocks", n)
+			}
+			seen[n] = true
+			nodes++
+		}
+	}
+	if nodes < 10 {
+		t.Errorf("only %d nodes placed, want the full body", nodes)
+	}
+	// The return statement must be reachable from the entry.
+	reach := map[*CFGBlock]bool{}
+	var walk func(*CFGBlock)
+	walk = func(b *CFGBlock) {
+		if reach[b] {
+			return
+		}
+		reach[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(g.Entry)
+	foundReturn := false
+	for b := range reach {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.ReturnStmt); ok {
+				foundReturn = true
+			}
+		}
+	}
+	if !foundReturn {
+		t.Error("return statement unreachable from entry")
+	}
+}
+
+// TestSolveForwardRebinding checks flow sensitivity: a variable seeded into
+// the tracked set by one statement leaves the set when rebound, and the
+// may-union at a join keeps it when only one branch rebinds.
+func TestSolveForwardRebinding(t *testing.T) {
+	const src = `package x
+func g(cond bool, xs []int) {
+	s := xs[:0]
+	s = append(s, 1) // tracked here
+	if cond {
+		s = xs
+	}
+	s = append(s, 2) // still tracked: may-analysis keeps the [:0] path
+	s = nil
+	s = append(s, 3) // no longer tracked on any path
+	_ = s
+}`
+	fd, info := parseFunc(t, src, "g")
+	g := NewCFG(fd.Body)
+
+	// Transfer: s enters the set when assigned a slice expression or an
+	// append of a tracked base; leaves it otherwise.
+	transfer := func(n ast.Node, set ObjSet) {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 {
+			return
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := info.ObjectOf(id)
+		if obj == nil {
+			return
+		}
+		switch rhs := Unparen(as.Rhs[0]).(type) {
+		case *ast.SliceExpr:
+			set[obj] = true
+		case *ast.CallExpr:
+			if base, ok := Unparen(rhs.Args[0]).(*ast.Ident); ok && set.Has(info.ObjectOf(base)) {
+				set[obj] = true
+				return
+			}
+			delete(set, obj)
+		default:
+			delete(set, obj)
+		}
+	}
+
+	// Collect, per append call, whether its base was tracked on entry.
+	tracked := map[string]bool{}
+	visit := func(n ast.Node, in ObjSet) {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return
+		}
+		call, ok := Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if fn, ok := Unparen(call.Fun).(*ast.Ident); !ok || fn.Name != "append" {
+			return
+		}
+		base := Unparen(call.Args[0]).(*ast.Ident)
+		lit := call.Args[1].(*ast.BasicLit)
+		tracked[lit.Value] = in.Has(info.ObjectOf(base))
+	}
+	SolveForward(g, ObjSet{}, transfer, visit)
+
+	want := map[string]bool{"1": true, "2": true, "3": false}
+	for k, w := range want {
+		if tracked[k] != w {
+			t.Errorf("append #%s: tracked=%v, want %v", k, tracked[k], w)
+		}
+	}
+}
+
+// TestSolveForwardLoop checks that facts generated inside a loop body flow
+// around the back edge to earlier statements of the same body.
+func TestSolveForwardLoop(t *testing.T) {
+	const src = `package x
+func h(n int, xs []int) {
+	var s []int
+	for i := 0; i < n; i++ {
+		s = append(s, i) // tracked from iteration 2 on: may-analysis says yes
+		s = xs[:0]
+	}
+	_ = s
+}`
+	fd, info := parseFunc(t, src, "h")
+	g := NewCFG(fd.Body)
+
+	var sawTracked bool
+	transfer := func(n ast.Node, set ObjSet) {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 {
+			return
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := info.ObjectOf(id)
+		if obj == nil {
+			return
+		}
+		if _, ok := Unparen(as.Rhs[0]).(*ast.SliceExpr); ok {
+			set[obj] = true
+		}
+	}
+	visit := func(n ast.Node, in ObjSet) {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return
+		}
+		if call, ok := Unparen(as.Rhs[0]).(*ast.CallExpr); ok {
+			if fn, ok := Unparen(call.Fun).(*ast.Ident); ok && fn.Name == "append" {
+				if in.Has(info.ObjectOf(as.Lhs[0].(*ast.Ident))) {
+					sawTracked = true
+				}
+			}
+		}
+	}
+	SolveForward(g, ObjSet{}, transfer, visit)
+	if !sawTracked {
+		t.Error("fact did not flow around the loop back edge")
+	}
+}
+
+func TestCFGDeadCode(t *testing.T) {
+	const src = `package x
+func d() int {
+	return 1
+	println("dead") // syntactically dead, must still land in a block
+	return 2
+}`
+	// parser keeps unreachable statements; ensure the builder does too.
+	fd, _ := parseFunc(t, src, "d")
+	g := NewCFG(fd.Body)
+	var all []string
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if c, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := c.Fun.(*ast.Ident); ok {
+						all = append(all, id.Name)
+					}
+				}
+			}
+		}
+	}
+	if !strings.Contains(strings.Join(all, ","), "println") {
+		t.Error("dead statement missing from CFG")
+	}
+}

@@ -5,18 +5,47 @@ import (
 	"encoding/json"
 	"fmt"
 	"go/ast"
+	"go/token"
 	"io"
 	"slices"
 	"strings"
 )
 
+// AuditName is the reserved analyzer name under which the driver reports
+// suppression-audit findings (stale or unknown //lint:ignore directives).
+// It is not itself suppressible: a directive that silences the auditor
+// would defeat the audit.
+const AuditName = "lintignore"
+
 // Run applies every analyzer to every package and returns the surviving
 // diagnostics, sorted by position then analyzer. Diagnostics on a line
-// covered by a matching //lint:ignore directive are dropped.
+// covered by a matching //lint:ignore directive are dropped. Run performs
+// no suppression audit — analysistest fixtures legitimately carry
+// directives for analyzers outside the one under test; whole-suite drivers
+// use RunChecked.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunChecked(pkgs, analyzers, nil)
+}
+
+// RunChecked is Run plus the suppression audit: when known is non-nil,
+// every //lint:ignore directive in the analyzed packages must name an
+// analyzer in known, and — when that analyzer is in the active set — must
+// actually suppress a diagnostic. Violations surface as AuditName
+// diagnostics, so a stale or misspelled suppression fails the lint run
+// exactly like a finding would. Names not in the active subset are left
+// unaudited (a `go vet -shadow`-style partial run cannot tell whether the
+// directive still fires).
+func RunChecked(pkgs []*Package, analyzers, known []*Analyzer) ([]Diagnostic, error) {
+	for _, a := range analyzers {
+		if a.Begin != nil {
+			a.Begin()
+		}
+	}
 	var diags []Diagnostic
+	var directives []*directive
 	for _, pkg := range pkgs {
-		ignores := collectIgnores(pkg)
+		ignores, dirs := collectIgnores(pkg)
+		directives = append(directives, dirs...)
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer:  a,
@@ -33,9 +62,12 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				}
 			}
 			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %s: %v", pkg.Path, a.Name, err)
+				return nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
 			}
 		}
+	}
+	if known != nil {
+		diags = append(diags, auditDirectives(directives, analyzers, known)...)
 	}
 	slices.SortFunc(diags, func(a, b Diagnostic) int {
 		if c := strings.Compare(a.Posn.Filename, b.Posn.Filename); c != 0 {
@@ -52,18 +84,81 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	return diags, nil
 }
 
-// ignoreSet records //lint:ignore directives: per file, the lines each
-// directive covers and the analyzer names it names.
-type ignoreSet map[string]map[int][]string
-
-// covers reports whether d's line is suppressed for d.Analyzer.
-func (s ignoreSet) covers(d Diagnostic) bool {
-	for _, name := range s[d.Posn.Filename][d.Posn.Line] {
-		if name == d.Analyzer || name == "all" {
-			return true
+// auditDirectives checks every collected directive name against the known
+// suite and its usage during this run.
+func auditDirectives(directives []*directive, active, known []*Analyzer) []Diagnostic {
+	knownNames := make(map[string]bool, len(known))
+	for _, a := range known {
+		knownNames[a.Name] = true
+	}
+	activeNames := make(map[string]bool, len(active))
+	for _, a := range active {
+		activeNames[a.Name] = true
+	}
+	fullRun := len(activeNames) == len(knownNames)
+	var out []Diagnostic
+	for _, d := range directives {
+		for _, name := range d.names {
+			switch {
+			case name == "all":
+				// Verifiable only when the whole suite ran.
+				if fullRun && !d.used[name] {
+					out = append(out, Diagnostic{
+						Posn:     d.posn,
+						Analyzer: AuditName,
+						Message:  "stale //lint:ignore all: no analyzer fires here",
+					})
+				}
+			case !knownNames[name]:
+				out = append(out, Diagnostic{
+					Posn:     d.posn,
+					Analyzer: AuditName,
+					Message:  fmt.Sprintf("//lint:ignore names unknown analyzer %q", name),
+				})
+			case activeNames[name] && !d.used[name]:
+				out = append(out, Diagnostic{
+					Posn:     d.posn,
+					Analyzer: AuditName,
+					Message:  fmt.Sprintf("stale //lint:ignore: %s does not fire here", name),
+				})
+			}
 		}
 	}
-	return false
+	return out
+}
+
+// directive is one parsed //lint:ignore comment, with per-name usage
+// recorded as diagnostics are suppressed.
+type directive struct {
+	names []string
+	posn  token.Position
+	used  map[string]bool
+}
+
+// ignoreEntry points one covered line at one name of one directive.
+type ignoreEntry struct {
+	name string
+	d    *directive
+}
+
+// ignoreSet records //lint:ignore directives: per file, the entries
+// covering each line.
+type ignoreSet map[string]map[int][]ignoreEntry
+
+// covers reports whether d's line is suppressed for d.Analyzer, marking
+// matching directives as used. Audit findings are never suppressible.
+func (s ignoreSet) covers(d Diagnostic) bool {
+	if d.Analyzer == AuditName {
+		return false
+	}
+	hit := false
+	for _, e := range s[d.Posn.Filename][d.Posn.Line] {
+		if e.name == d.Analyzer || e.name == "all" {
+			e.d.used[e.name] = true
+			hit = true
+		}
+	}
+	return hit
 }
 
 // collectIgnores scans each file's comments for suppression directives of
@@ -75,8 +170,9 @@ func (s ignoreSet) covers(d Diagnostic) bool {
 // after it (preceding-comment style). The reason is mandatory — a
 // directive without one does not suppress anything, so a bare ignore can
 // never silence a finding without leaving a written justification behind.
-func collectIgnores(pkg *Package) ignoreSet {
+func collectIgnores(pkg *Package) (ignoreSet, []*directive) {
 	set := ignoreSet{}
+	var all []*directive
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -84,18 +180,25 @@ func collectIgnores(pkg *Package) ignoreSet {
 				if !ok {
 					continue
 				}
-				posn := pkg.Fset.Position(c.Pos())
-				m := set[posn.Filename]
-				if m == nil {
-					m = map[int][]string{}
-					set[posn.Filename] = m
+				d := &directive{
+					names: names,
+					posn:  pkg.Fset.Position(c.Pos()),
+					used:  map[string]bool{},
 				}
-				m[posn.Line] = append(m[posn.Line], names...)
-				m[posn.Line+1] = append(m[posn.Line+1], names...)
+				all = append(all, d)
+				m := set[d.posn.Filename]
+				if m == nil {
+					m = map[int][]ignoreEntry{}
+					set[d.posn.Filename] = m
+				}
+				for _, name := range names {
+					m[d.posn.Line] = append(m[d.posn.Line], ignoreEntry{name, d})
+					m[d.posn.Line+1] = append(m[d.posn.Line+1], ignoreEntry{name, d})
+				}
 			}
 		}
 	}
-	return set
+	return set, all
 }
 
 // parseIgnore extracts the analyzer names from one //lint:ignore comment.

@@ -3,6 +3,7 @@ package analysis
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -64,7 +65,7 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 	cmd.Stderr = &stderr
 	out, err := cmd.Output()
 	if err != nil {
-		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+		return nil, fmt.Errorf("go list %s: %w\n%s", strings.Join(patterns, " "), err, stderr.String())
 	}
 
 	exports := map[string]string{}
@@ -72,10 +73,10 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {
 		var p listPkg
-		if err := dec.Decode(&p); err == io.EOF {
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
 			break
 		} else if err != nil {
-			return nil, fmt.Errorf("go list: bad json: %v", err)
+			return nil, fmt.Errorf("go list: bad json: %w", err)
 		}
 		if p.Error != nil {
 			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
@@ -115,7 +116,7 @@ func checkFromSource(fset *token.FileSet, imp types.Importer, t listPkg) (*Packa
 	for _, g := range t.GoFiles {
 		f, err := parser.ParseFile(fset, filepath.Join(t.Dir, g), nil, parser.ParseComments)
 		if err != nil {
-			return nil, fmt.Errorf("parse %s: %v", g, err)
+			return nil, fmt.Errorf("parse %s: %w", g, err)
 		}
 		files = append(files, f)
 	}

@@ -1,0 +1,54 @@
+// Package hotcore is a stub mirroring repro/internal/hotcore for the
+// ctxflow analyzer tests: an internal package, so root contexts are banned
+// and context parameters must be threaded.
+package hotcore
+
+import (
+	"context"
+	"time"
+)
+
+func doWork(ctx context.Context, n int) error { return ctx.Err() }
+
+func forEach(n int, f func(int) error) error { return f(0) }
+
+func Preprocess(ctx context.Context, n int) error {
+	if err := doWork(ctx, n); err != nil { // silent: parameter threaded
+		return err
+	}
+	sub, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	if err := doWork(sub, n); err != nil { // silent: derived via WithTimeout
+		return err
+	}
+	ctx = context.Background() // want `context.Background below the facade`
+	return doWork(ctx, n)      // want `does not receive this function's context`
+}
+
+// PreprocessOpts has no context parameter, so only the root-context ban
+// applies to it.
+func PreprocessOpts(n int) error {
+	return Preprocess(context.Background(), 1) // want `context.Background below the facade`
+}
+
+func branch(ctx context.Context, b bool, n int) error {
+	if b {
+		ctx = context.TODO() // want `context.TODO below the facade`
+	}
+	// May-analysis: ctx still derives from the parameter on the b==false
+	// path, so the threaded call below stays silent.
+	return doWork(ctx, n)
+}
+
+func fan(ctx context.Context, n int) error {
+	return forEach(n, func(i int) error {
+		return doWork(ctx, i) // silent: captured context is threaded
+	})
+}
+
+func fanBad(ctx context.Context, n int) error {
+	_ = ctx
+	return forEach(n, func(i int) error {
+		return doWork(context.TODO(), i) // want `context.TODO below the facade` `does not receive this function's context`
+	})
+}

@@ -1,0 +1,21 @@
+// Package obs is a stub mirroring repro/internal/obs: exempt from the
+// root-context ban (it owns its own shutdown deadline), but context
+// parameters must still be threaded.
+package obs
+
+import (
+	"context"
+	"time"
+)
+
+func stop(ctx context.Context) error { return ctx.Err() }
+
+func GracefulStop(drain time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), drain) // silent: obs is exempt
+	defer cancel()
+	return stop(ctx)
+}
+
+func Forward(ctx context.Context) error {
+	return stop(context.TODO()) // want `does not receive this function's context`
+}

@@ -1,0 +1,21 @@
+// Package work is not an internal package: minting roots is fine here
+// (a cmd/ main would look like this), but received contexts must still be
+// threaded.
+package work
+
+import "context"
+
+func sub(ctx context.Context, n int) error { return ctx.Err() }
+
+func Root() error {
+	ctx := context.Background() // silent: not below the facade
+	return handle(ctx, 1)
+}
+
+func handle(ctx context.Context, n int) error {
+	fresh := context.Background()         // silent: the ban does not apply here
+	if err := sub(fresh, n); err != nil { // want `does not receive this function's context`
+		return err
+	}
+	return sub(ctx, n) // silent
+}

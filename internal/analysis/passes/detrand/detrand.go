@@ -1,0 +1,197 @@
+// Package detrand forbids nondeterminism sources in the deterministic
+// core. The golden-file regression net (DESIGN.md §10) and the daemon's
+// content-addressed plan cache both assume that sim/model/partition/tile/
+// workload compute bit-identical results from identical inputs; a stray
+// wall-clock read or global math/rand call silently breaks that and only
+// shows up as an unreproducible golden diff much later.
+//
+// In the scoped packages the pass flags
+//
+//   - time.Now / time.Since / time.Until — simulated time comes from the
+//     model; wall time, where it is legitimately measured (histograms),
+//     goes through the blessed obs.Now/obs.SinceNS clock so the callsites
+//     are greppable and the core stays clock-free;
+//   - package-level math/rand calls (rand.Intn, rand.Float64, rand.Shuffle,
+//     …) — they draw from the global, process-seeded source. Constructing
+//     a seeded generator (rand.New, rand.NewSource, rand.NewZipf) and
+//     calling its methods is the blessed pattern;
+//   - map-range-fed state: an unconditional assignment inside a
+//     range-over-map that copies the loop key or value into a variable
+//     that outlives the loop — after the loop the variable holds an
+//     arbitrary element. (Guarded min/max scans are order-independent and
+//     stay silent; ordered *output* from map ranges is mapiter's beat.)
+package detrand
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// scoped lists the deterministic-core package path suffixes.
+var scoped = []string{
+	"internal/sim", "internal/model", "internal/partition", "internal/tile", "internal/workload",
+}
+
+// blessedRand lists the math/rand package-level constructors that are fine:
+// they build explicitly seeded generators instead of drawing from the
+// global source.
+var blessedRand = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+// Analyzer is the detrand pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc: "forbids nondeterminism (time.Now, global math/rand, map-range-fed state) in the " +
+		"deterministic sim/model/partition/tile/workload core",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PathHasAnySuffix(pass.Pkg.Path(), scoped) {
+		return nil
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, n)
+		case *ast.RangeStmt:
+			checkMapRange(pass, n)
+		}
+		return true
+	})
+	return nil
+}
+
+// checkCall flags wall-clock reads and global math/rand draws.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	f := pass.CalleeFunc(call)
+	if f == nil || f.Pkg() == nil {
+		return
+	}
+	sig, _ := f.Type().(*types.Signature)
+	isMethod := sig != nil && sig.Recv() != nil
+	switch f.Pkg().Path() {
+	case "time":
+		if isMethod {
+			return // t.Sub, d.Seconds, … are pure value math
+		}
+		switch f.Name() {
+		case "Now", "Since", "Until":
+			pass.Reportf(call.Pos(),
+				"time.%s in deterministic core: use the obs clock (obs.Now/obs.SinceNS) so wall time stays out of results", f.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if isMethod {
+			return // methods on an explicitly seeded *rand.Rand
+		}
+		if !blessedRand[f.Name()] {
+			pass.Reportf(call.Pos(),
+				"global rand.%s in deterministic core: draw from a seeded rand.New(rand.NewSource(seed)) instead", f.Name())
+		}
+	}
+}
+
+// checkMapRange flags unconditional loop-variable copies into state that
+// outlives a range-over-map.
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt) {
+	t := pass.TypesInfo.Types[rng.X].Type
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+	loopVars := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id != nil {
+			if obj := pass.ObjectOf(id); obj != nil {
+				loopVars[obj] = true
+			}
+		}
+	}
+	if len(loopVars) == 0 {
+		return
+	}
+	// Walk only the unconditional spine of the body: statements not nested
+	// under if/switch/select/for, where an assignment runs every iteration
+	// and the last iteration — an arbitrary one — wins.
+	var spine func(stmts []ast.Stmt)
+	spine = func(stmts []ast.Stmt) {
+		for _, s := range stmts {
+			switch s := s.(type) {
+			case *ast.BlockStmt:
+				spine(s.List)
+			case *ast.AssignStmt:
+				checkSpineAssign(pass, rng, loopVars, s)
+			}
+		}
+	}
+	spine(rng.Body.List)
+}
+
+// checkSpineAssign flags `outer = <expr mentioning k or v>` on the loop
+// spine.
+func checkSpineAssign(pass *analysis.Pass, rng *ast.RangeStmt, loopVars map[types.Object]bool, as *ast.AssignStmt) {
+	if as.Tok != token.ASSIGN {
+		// := introduces a per-iteration variable; compound tokens (+=, …)
+		// are reductions, which mapiter polices where order can matter.
+		return
+	}
+	for i, lhs := range as.Lhs {
+		root := analysis.RootIdent(lhs)
+		if root == nil {
+			continue
+		}
+		obj := pass.ObjectOf(root)
+		if obj == nil || obj.Pos() >= rng.Pos() || loopVars[obj] {
+			continue
+		}
+		// Keyed writes (m2[k] = v) land every element; only whole-variable
+		// overwrites keep one arbitrary survivor.
+		if hasIndex(lhs) {
+			continue
+		}
+		var rhs ast.Expr
+		if i < len(as.Rhs) {
+			rhs = as.Rhs[i]
+		} else {
+			rhs = as.Rhs[0]
+		}
+		if mentionsAny(pass, rhs, loopVars) {
+			pass.Reportf(as.Pos(),
+				"%q is fed from a map range: the surviving element is arbitrary run to run", root.Name)
+		}
+	}
+}
+
+// hasIndex reports whether the lvalue chain contains an index expression.
+func hasIndex(e ast.Expr) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.IndexExpr:
+			return true
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// mentionsAny reports whether expr references any of the given objects.
+func mentionsAny(pass *analysis.Pass, expr ast.Expr, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && objs[pass.ObjectOf(id)] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

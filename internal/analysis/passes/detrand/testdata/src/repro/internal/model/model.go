@@ -1,0 +1,52 @@
+// Package model is a stub mirroring repro/internal/model for the detrand
+// analyzer tests.
+package model
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clocks(t0 time.Time) time.Duration {
+	now := time.Now()   // want `time.Now in deterministic core`
+	d := time.Since(t0) // want `time.Since in deterministic core`
+	_ = time.Until(t0)  // want `time.Until in deterministic core`
+	_ = now.Sub(t0)     // silent: pure value math
+	_ = time.Unix(0, 0) // silent: construction, not a clock read
+	_ = d.Seconds()     // silent: method on a value
+	return d
+}
+
+func draws(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed)) // silent: blessed seeded constructor
+	x := r.Float64()                    // silent: method on seeded generator
+	x += rand.Float64()                 // want `global rand.Float64 in deterministic core`
+	rand.Shuffle(3, func(i, j int) {})  // want `global rand.Shuffle in deterministic core`
+	_ = rand.Intn(10)                   // want `global rand.Intn in deterministic core`
+	z := rand.NewZipf(r, 1.1, 1, 100)   // silent: blessed constructor
+	_ = z.Uint64()
+	return x
+}
+
+func mapState(m map[string]int) (string, int) {
+	var last string
+	best := -1
+	sum := 0
+	for k, v := range m {
+		last = k // want `"last" is fed from a map range`
+		sum += v // silent: additive reduction, not an element pick
+		if v > best {
+			best = v // silent: guarded max scan is order-independent
+		}
+	}
+	counts := map[string]int{}
+	for k, v := range m {
+		counts[k] = v // silent: keyed write lands every element
+	}
+	for k := range m {
+		tmp := k // silent: per-iteration variable
+		_ = tmp
+	}
+	_ = counts
+	return last, best + sum
+}

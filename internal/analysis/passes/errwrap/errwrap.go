@@ -1,0 +1,180 @@
+// Package errwrap keeps error chains intact. The daemon maps sentinel
+// errors to HTTP statuses (planstore.ErrBusy → 429) and tests assert on
+// wrapped causes with errors.Is; both break silently when an error is
+// flattened to text on the way up. The pass flags
+//
+//   - fmt.Errorf formatting an error value with a value verb (%v, %s, %q,
+//     …) instead of %w — the cause survives as prose but leaves the chain,
+//     so errors.Is/As stop seeing it;
+//   - == / != comparisons against a declared error sentinel (a
+//     package-level error variable, io.EOF-style) — wrapped errors compare
+//     unequal, so the comparison silently stops matching; errors.Is walks
+//     the chain.
+//
+// Comparisons with nil stay silent (that is the error idiom), as do
+// fmt.Errorf calls with a non-constant format string (the verbs are
+// unknowable statically).
+package errwrap
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the errwrap pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "errwrap",
+	Doc: "errors kept on the chain: fmt.Errorf wraps causes with %w, " +
+		"sentinel comparisons use errors.Is instead of ==",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkErrorf(pass, n)
+		case *ast.BinaryExpr:
+			checkSentinelCompare(pass, n)
+		}
+		return true
+	})
+	return nil
+}
+
+// checkErrorf matches fmt.Errorf verbs to arguments and flags error-typed
+// arguments formatted with anything but %w.
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	if !pass.IsPkgFunc(call, "fmt", "Errorf") || len(call.Args) < 2 || call.Ellipsis.IsValid() {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	format := constant.StringVal(tv.Value)
+	verbs, ok := parseVerbs(format)
+	if !ok {
+		return // indexed arguments (%[n]v): matching is not positional
+	}
+	args := call.Args[1:]
+	for i, verb := range verbs {
+		if i >= len(args) {
+			break
+		}
+		if verb == 'w' || verb == 'T' {
+			continue // %w wraps; %T prints only the dynamic type
+		}
+		if isErrorType(pass.TypesInfo.Types[args[i]].Type) {
+			pass.Reportf(args[i].Pos(),
+				"error formatted with %%%c loses the chain: wrap it with %%w so errors.Is keeps working", verb)
+		}
+	}
+}
+
+// parseVerbs returns the argument-consuming verbs of a format string in
+// order, with '*' width/precision slots represented as '*'. ok is false
+// for explicit argument indexes, which break positional matching.
+func parseVerbs(format string) (verbs []rune, ok bool) {
+	rs := []rune(format)
+	for i := 0; i < len(rs); i++ {
+		if rs[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(rs) {
+			break
+		}
+		if rs[i] == '%' {
+			continue
+		}
+		// flags, width, precision — '*' consumes an argument of its own.
+		for i < len(rs) {
+			c := rs[i]
+			if c == '[' {
+				return nil, false
+			}
+			if c == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if c == '#' || c == '+' || c == '-' || c == ' ' || c == '0' ||
+				c == '.' || (c >= '1' && c <= '9') {
+				i++
+				continue
+			}
+			break
+		}
+		if i < len(rs) {
+			verbs = append(verbs, rs[i])
+		}
+	}
+	return verbs, true
+}
+
+// errorIface is the universe error interface.
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// isErrorType reports whether t implements error (nil-safe).
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if b, ok := t.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	return types.Implements(t, errorIface)
+}
+
+// checkSentinelCompare flags ==/!= where one operand is a declared error
+// sentinel and the other is a non-nil error value.
+func checkSentinelCompare(pass *analysis.Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	var sentinel *ast.Ident
+	for _, pair := range [2][2]ast.Expr{{be.X, be.Y}, {be.Y, be.X}} {
+		side, other := pair[0], pair[1]
+		name := sentinelIdent(pass, side)
+		if name == nil {
+			continue
+		}
+		if t := pass.TypesInfo.Types[other].Type; !isErrorType(t) {
+			continue // comparing the sentinel with nil or a non-error
+		}
+		sentinel = name
+		break
+	}
+	if sentinel == nil {
+		return
+	}
+	pass.Reportf(be.Pos(),
+		"sentinel comparison %s %s …: wrapped errors slip through ==, use errors.Is", sentinel.Name, be.Op)
+}
+
+// sentinelIdent returns the identifier when e resolves to a package-level
+// error variable (possibly selector-qualified: io.EOF).
+func sentinelIdent(pass *analysis.Pass, e ast.Expr) *ast.Ident {
+	var id *ast.Ident
+	switch e := analysis.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	v, ok := pass.ObjectOf(id).(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	if !isErrorType(v.Type()) {
+		return nil
+	}
+	return id
+}

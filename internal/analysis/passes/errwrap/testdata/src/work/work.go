@@ -1,0 +1,46 @@
+// Package work exercises the errwrap analyzer: chain-preserving wrapping
+// and sentinel comparisons.
+package work
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+var ErrBusy = errors.New("work: busy")
+
+type parseError struct{ msg string }
+
+func (e *parseError) Error() string { return e.msg }
+
+func wrap(path string, err error) error {
+	if err != nil {
+		return fmt.Errorf("load %s: %w", path, err) // silent: wrapped
+	}
+	return fmt.Errorf("load %s: %v", path, err) // want `error formatted with %v loses the chain`
+}
+
+func wrapMore(err error, pe *parseError) {
+	_ = fmt.Errorf("oops: %s", err)              // want `error formatted with %s loses the chain`
+	_ = fmt.Errorf("oops: %q", pe)               // want `error formatted with %q loses the chain`
+	_ = fmt.Errorf("kind %T of %w", pe, err)     // silent: %T prints a type, %w wraps
+	_ = fmt.Errorf("%*d apples %v", 3, 7, err)   // want `error formatted with %v loses the chain`
+	_ = fmt.Errorf("count %d, text %s", 3, "ok") // silent: no error argument
+	f := "dynamic %v"
+	_ = fmt.Errorf(f, err)                       // silent: non-constant format is unknowable
+	_ = fmt.Errorf("%[1]v and again %[1]v", err) // silent: indexed args bail out
+}
+
+func compare(err error) bool {
+	if err == io.EOF { // want `sentinel comparison EOF ==`
+		return true
+	}
+	if errors.Is(err, io.EOF) { // silent: the blessed form
+		return true
+	}
+	if err != ErrBusy { // want `sentinel comparison ErrBusy !=`
+		return false
+	}
+	return err == nil // silent: nil check is the error idiom
+}

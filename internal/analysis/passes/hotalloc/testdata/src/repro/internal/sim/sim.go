@@ -1,0 +1,102 @@
+// Package sim is a stub mirroring repro/internal/sim for the hotalloc
+// analyzer tests: same path suffix, so the package allowlist matches.
+package sim
+
+import "fmt"
+
+// sortFunc stands in for slices.SortFunc: a comparator-taking call with no
+// interface parameters, so only the closure rules apply.
+func sortFunc(xs []int, less func(a, b int) int) {}
+
+type engine struct {
+	active  []int
+	scratch []int
+	cb      func()
+}
+
+// step is the compaction idiom the real engine uses: reslice to zero
+// length, append survivors, swap back. Allocation-free, must stay silent.
+//
+//hot:path
+func (e *engine) step(n int) {
+	keep := e.active[:0]
+	for _, wi := range e.active {
+		if wi < n {
+			keep = append(keep, wi)
+		}
+	}
+	e.active = keep
+}
+
+// cold is unannotated: anything goes.
+func (e *engine) cold() []int {
+	var out []int
+	out = append(out, 1)
+	fmt.Println("cold path may format")
+	return out
+}
+
+//hot:path
+func (e *engine) appends(xs []int) {
+	e.scratch = append(e.scratch, 1) // want `growing append in hot path: base is not a scratch-backed local`
+	var acc []int
+	acc = append(acc, 1) // want `growing append to "acc" in hot path`
+	s := make([]int, 0, 8)
+	s = append(s, 2) // silent: make-backed
+	u := s
+	u = append(u, 3) // silent: copy of a backed variable
+	u = xs
+	u = append(u, 4) // want `growing append to "u" in hot path`
+	w := u[:0]
+	w = append(w, 5) // silent: rebacked by the reslice
+	_, _, _ = s, u, w
+}
+
+//hot:path
+func (e *engine) swap(s []int32) {
+	aux := make([]int32, len(s))
+	from, to := s, aux
+	for pass := 0; pass < 4; pass++ {
+		to = to[:len(from)]
+		from, to = to, from
+	}
+	to = append(to, 9) // silent: both swap halves stay backed
+	_ = from
+}
+
+//hot:path
+func (e *engine) format(x int) {
+	fmt.Printf("x=%d\n", x) // want `fmt.Printf in hot path: formatting allocates`
+}
+
+//hot:path
+func (e *engine) literals() {
+	m := map[int]int{} // want `map literal in hot path: allocates`
+	s := []int{1, 2}   // want `slice literal in hot path: allocates`
+	a := [2]int{1, 2}  // silent: array literal lives on the stack
+	_, _, _ = m, s, a
+}
+
+func sink(v interface{}) { _ = v }
+
+//hot:path
+func (e *engine) boxing(n int, p *engine) {
+	sink(n)               // want `interface argument boxes int in hot path`
+	sink(p)               // silent: pointers are already one word
+	sink(nil)             // silent: nil needs no box
+	var i interface{} = n // want `assignment to interface boxes int in hot path`
+	var j interface{} = p // silent
+	var any interface{}
+	any = i // silent: interface to interface
+	_, _, _ = i, j, any
+}
+
+//hot:path
+func (e *engine) closures(xs []int) func() {
+	sortFunc(xs, func(a, b int) int { return xs[a] - xs[b] }) // silent: direct call argument
+	f := func() {}                                            // silent: plain local
+	f()
+	e.cb = func() {}  // want `closure stored outside the stack frame: allocates`
+	defer func() {}() // want `closure in go/defer escapes hot path: allocates`
+	return func() {}  // want `closure returned from hot path: allocates`
+}

@@ -1,0 +1,15 @@
+// Package work is outside the hot-path allowlist: the annotation itself
+// is the finding here.
+package work
+
+//hot:path
+func NotEligible() { // want `annotation outside the hot-path allowlist`
+	var s []int
+	s = append(s, 1) // silent: the package is not policed
+	_ = s
+}
+
+func helper() {
+	//hot:path floating, not a function doc comment // want `must be in a function declaration's doc comment`
+	_ = 0
+}

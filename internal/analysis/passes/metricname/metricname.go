@@ -1,0 +1,166 @@
+// Package metricname polices the obs metrics namespace at compile time.
+// PR 6 had to teach the debug plane's promNamer to suffix colliding
+// Prometheus series with _2 because two dotted registry names can sanitize
+// to the same prom base — a silent rename that breaks dashboards. This
+// pass makes that machinery unreachable:
+//
+//   - every obs.NewCounter/NewGauge/NewHistogram name must be a
+//     compile-time constant — a dynamic name defeats grepping and can
+//     collide at runtime where no analyzer sees it;
+//   - names must match the registry grammar: dotted lowercase
+//     alphanumeric segments, each starting with a letter
+//     (^[a-z][a-z0-9]*(\.[a-z][a-z0-9]*)*$). Under that grammar prom
+//     sanitization is exactly dot→underscore, so collisions are decidable
+//     statically;
+//   - histogram names end in ".ns" — every histogram in the repo is a
+//     nanosecond latency, and the convention keeps units out of
+//     dashboards' guesswork;
+//   - across the whole suite (Begin resets the state once per driver
+//     run), no two registrations may claim the same name, and no two
+//     names may collide in prom space, where a counter claims {base}, a
+//     gauge {base, base_max} and a histogram {base, base_bucket,
+//     base_sum, base_count}. Whole-suite means whole-module standalone
+//     runs; under unitchecker (one package per process) the check
+//     degrades to per-package.
+//
+// Constant obs Timeline track names (Timeline.TrackID / Timeline.Intern)
+// get a lighter grammar check (slash/underscore/dash separators allowed);
+// dynamic track names are legitimate — tracks are per-worker rows, not
+// dashboard series.
+package metricname
+
+import (
+	"go/ast"
+	"go/constant"
+	"regexp"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the metricname pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricname",
+	Doc: "obs metric registrations use constant dotted-lowercase names, unique across the suite " +
+		"and collision-free after prom sanitization (promNamer's _2 suffixing must be unreachable)",
+	Run:   run,
+	Begin: reset,
+}
+
+// nameRE is the registry grammar; trackRE the looser timeline-track one.
+var (
+	nameRE  = regexp.MustCompile(`^[a-z][a-z0-9]*(\.[a-z][a-z0-9]*)*$`)
+	trackRE = regexp.MustCompile(`^[a-z][a-z0-9]*([./_-][a-z0-9]+)*$`)
+)
+
+// claim records who owns a registry name or a prom series.
+type claim struct {
+	name string // registry name that made the claim
+	posn string // file:line of the registration
+}
+
+// suite is the cross-package state, reset once per driver run.
+var suite struct {
+	names  map[string]claim // registry name → first registration
+	series map[string]claim // prom series → owning registration
+}
+
+func reset() {
+	suite.names = map[string]claim{}
+	suite.series = map[string]claim{}
+}
+
+// constructors maps obs constructor names to the prom series suffixes each
+// metric kind exports (WriteMetricsText's contract).
+var constructors = map[string][]string{
+	"NewCounter":   {""},
+	"NewGauge":     {"", "_max"},
+	"NewHistogram": {"", "_bucket", "_sum", "_count"},
+}
+
+func run(pass *analysis.Pass) error {
+	if suite.names == nil {
+		reset() // standalone Run without Begin (unitchecker path)
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := pass.CalleeFunc(call)
+		if f == nil || f.Pkg() == nil || !analysis.PathHasSuffix(f.Pkg().Path(), "internal/obs") {
+			return true
+		}
+		if suffixes, ok := constructors[f.Name()]; ok && len(call.Args) == 1 {
+			checkRegistration(pass, call, f.Name(), suffixes)
+		}
+		if f.Name() == "TrackID" || f.Name() == "Intern" {
+			checkTrack(pass, call)
+		}
+		return true
+	})
+	return nil
+}
+
+// checkRegistration enforces constness, grammar, and suite-wide
+// uniqueness for one obs.New* call.
+func checkRegistration(pass *analysis.Pass, call *ast.CallExpr, kind string, suffixes []string) {
+	name, ok := constString(pass, call.Args[0])
+	if !ok {
+		pass.Reportf(call.Args[0].Pos(),
+			"obs.%s name must be a compile-time constant", kind)
+		return
+	}
+	if !nameRE.MatchString(name) {
+		pass.Reportf(call.Args[0].Pos(),
+			"metric name %q does not match the registry grammar (dotted lowercase, segments start with a letter)", name)
+		return
+	}
+	if kind == "NewHistogram" && !strings.HasSuffix(name, ".ns") {
+		pass.Reportf(call.Args[0].Pos(),
+			"histogram %q must end in .ns: every histogram is a nanosecond latency", name)
+	}
+	posn := pass.Fset.Position(call.Pos()).String()
+	if prev, dup := suite.names[name]; dup {
+		pass.Reportf(call.Args[0].Pos(),
+			"metric %q already registered at %s: one metric, one registration site", name, prev.posn)
+		return
+	}
+	suite.names[name] = claim{name: name, posn: posn}
+	base := strings.ReplaceAll(name, ".", "_")
+	for _, suffix := range suffixes {
+		series := base + suffix
+		if prev, collides := suite.series[series]; collides {
+			pass.Reportf(call.Args[0].Pos(),
+				"metric %q collides with %q (registered at %s) on prom series %q: promNamer would rename it to %s_2",
+				name, prev.name, prev.posn, series, series)
+			continue
+		}
+		suite.series[series] = claim{name: name, posn: posn}
+	}
+}
+
+// checkTrack applies the track grammar to constant TrackID/Intern names;
+// dynamic names pass through.
+func checkTrack(pass *analysis.Pass, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	name, ok := constString(pass, call.Args[0])
+	if !ok {
+		return
+	}
+	if !trackRE.MatchString(name) {
+		pass.Reportf(call.Args[0].Pos(),
+			"timeline track %q does not match the track grammar (lowercase segments joined by . / _ -)", name)
+	}
+}
+
+// constString returns the compile-time string value of e, if it has one.
+func constString(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

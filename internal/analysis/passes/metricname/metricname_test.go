@@ -1,0 +1,12 @@
+package metricname_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/metricname"
+)
+
+func TestMetricName(t *testing.T) {
+	analysistest.Run(t, "testdata", metricname.Analyzer, "work")
+}

@@ -1,0 +1,15 @@
+// Package obs is a stub mirroring repro/internal/obs's registration
+// surface for the metricname analyzer tests.
+package obs
+
+type Counter struct{}
+type Gauge struct{}
+type Histogram struct{}
+type Timeline struct{}
+
+func NewCounter(name string) *Counter     { return &Counter{} }
+func NewGauge(name string) *Gauge         { return &Gauge{} }
+func NewHistogram(name string) *Histogram { return &Histogram{} }
+
+func (t *Timeline) TrackID(name string) int32 { return 0 }
+func (t *Timeline) Intern(name string) int32  { return 0 }

@@ -1,0 +1,32 @@
+// Package work exercises the metricname analyzer against the obs stub.
+package work
+
+import "repro/internal/obs"
+
+const latencyName = "work.step.ns"
+
+var (
+	steps   = obs.NewCounter("work.steps")     // silent
+	depth   = obs.NewGauge("work.pool.depth")  // silent
+	latency = obs.NewHistogram(latencyName)    // silent: constant expression
+	wall    = obs.NewHistogram("work.wall")    // want `histogram "work.wall" must end in .ns`
+	caps    = obs.NewCounter("Work.Steps")     // want `does not match the registry grammar`
+	under   = obs.NewCounter("work_steps")     // want `does not match the registry grammar`
+	digits  = obs.NewCounter("work.2fast")     // want `does not match the registry grammar`
+	dup     = obs.NewCounter("work.steps")     // want `metric "work.steps" already registered`
+	gmax    = obs.NewGauge("work.queue")       // silent: claims work_queue and work_queue_max
+	clash   = obs.NewCounter("work.queue.max") // want `collides with "work.queue" .* promNamer would rename`
+	hsum    = obs.NewHistogram("work.io.ns")   // silent: claims work_io_ns(+suffixes)
+	hclash  = obs.NewCounter("work.io.ns.sum") // want `collides with "work.io.ns"`
+)
+
+func dynamic(kind string) *obs.Counter {
+	return obs.NewCounter("work." + kind) // want `name must be a compile-time constant`
+}
+
+func tracks(tl *obs.Timeline, slot string) {
+	_ = tl.TrackID("par/pool")    // silent: track grammar allows slashes
+	_ = tl.Intern("fill")         // silent
+	_ = tl.TrackID("par/" + slot) // silent: dynamic track names are allowed
+	_ = tl.TrackID("Par Pool")    // want `does not match the track grammar`
+}

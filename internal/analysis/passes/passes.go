@@ -6,15 +6,21 @@ package passes
 
 import (
 	"repro/internal/analysis"
+	"repro/internal/analysis/passes/ctxflow"
+	"repro/internal/analysis/passes/detrand"
+	"repro/internal/analysis/passes/errwrap"
 	"repro/internal/analysis/passes/floateq"
+	"repro/internal/analysis/passes/hotalloc"
 	"repro/internal/analysis/passes/lockcopy"
 	"repro/internal/analysis/passes/mapiter"
+	"repro/internal/analysis/passes/metricname"
 	"repro/internal/analysis/passes/nakedgo"
 	"repro/internal/analysis/passes/shadow"
 	"repro/internal/analysis/passes/spanend"
 )
 
-// All returns the full analyzer suite in reporting order.
+// All returns the full analyzer suite in reporting order: the PR-3 six,
+// then the PR-8 dataflow-aware five.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		mapiter.Analyzer,
@@ -23,5 +29,10 @@ func All() []*analysis.Analyzer {
 		floateq.Analyzer,
 		lockcopy.Analyzer,
 		shadow.Analyzer,
+		hotalloc.Analyzer,
+		detrand.Analyzer,
+		ctxflow.Analyzer,
+		errwrap.Analyzer,
+		metricname.Analyzer,
 	}
 }

@@ -1,0 +1,30 @@
+// Package audit is the driver suppression-audit fixture: one function per
+// directive shape the auditor distinguishes. The driver test pins the
+// expected diagnostics by line, so keep the layout stable.
+package audit
+
+//lint:ignore fire suppressed: fire reports on the next line
+func BadSuppressed() {}
+
+func BadLoud() {} // unsuppressed: fire's diagnostic must survive
+
+//lint:ignore fire stale: nothing fires on a good function
+func Good() {}
+
+//lint:ignore bogus misspelled analyzer name
+func Good2() {}
+
+//lint:ignore quiet stale: quiet is a real analyzer but never fires
+func Good3() {}
+
+//lint:ignore all stale: nothing fires here either
+func Good4() {}
+
+//lint:ignore all used: fire does fire here
+func BadAllSuppressed() {}
+
+//lint:ignore lintignore the auditor itself must not be silenceable
+func Good5() {}
+
+//lint:ignore fire
+func BadNoReason() {} // reason missing: the directive is inert, fire survives

@@ -52,9 +52,11 @@ type Config struct {
 
 // Main runs one unitchecker invocation for the cfg file at cfgPath with
 // the given (already flag-selected) analyzers, writing diagnostics to
-// stdout/stderr per the protocol. It returns the process exit code.
-func Main(cfgPath string, analyzers []*analysis.Analyzer, asJSON bool) int {
-	code, err := run(cfgPath, analyzers, asJSON)
+// stdout/stderr per the protocol. known is the full suite, used by the
+// //lint:ignore suppression audit (directives naming analyzers outside the
+// active subset are left unaudited). It returns the process exit code.
+func Main(cfgPath string, analyzers, known []*analysis.Analyzer, asJSON bool) int {
+	code, err := run(cfgPath, analyzers, known, asJSON)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hottileslint: %v\n", err)
 		return 1
@@ -62,14 +64,14 @@ func Main(cfgPath string, analyzers []*analysis.Analyzer, asJSON bool) int {
 	return code
 }
 
-func run(cfgPath string, analyzers []*analysis.Analyzer, asJSON bool) (int, error) {
+func run(cfgPath string, analyzers, known []*analysis.Analyzer, asJSON bool) (int, error) {
 	data, readErr := os.ReadFile(cfgPath)
 	if readErr != nil {
 		return 0, readErr
 	}
 	var cfg Config
 	if err := json.Unmarshal(data, &cfg); err != nil {
-		return 0, fmt.Errorf("bad config %s: %v", cfgPath, err)
+		return 0, fmt.Errorf("bad config %s: %w", cfgPath, err)
 	}
 	// The go command caches analysis results keyed on the vetx file; it
 	// must exist even though this suite exports no facts.
@@ -135,14 +137,14 @@ func run(cfgPath string, analyzers []*analysis.Analyzer, asJSON bool) (int, erro
 		if cfg.SucceedOnTypecheckFailure {
 			return 0, nil
 		}
-		return 0, fmt.Errorf("typecheck %s: %v", cfg.ImportPath, err)
+		return 0, fmt.Errorf("typecheck %s: %w", cfg.ImportPath, err)
 	}
 
 	pkg := &analysis.Package{
 		Path: cfg.ImportPath, Name: tpkg.Name(), Dir: cfg.Dir,
 		Files: files, Fset: fset, Types: tpkg, Info: info,
 	}
-	diags, err := analysis.Run([]*analysis.Package{pkg}, analyzers)
+	diags, err := analysis.RunChecked([]*analysis.Package{pkg}, analyzers, known)
 	if err != nil {
 		return 0, err
 	}

@@ -3,11 +3,17 @@ package unitchecker
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
+	"io"
 	"os"
+	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
+	"sync"
 	"testing"
 
+	"repro/internal/analysis"
 	"repro/internal/analysis/passes"
 )
 
@@ -87,7 +93,7 @@ func TestUnitDiagnostics(t *testing.T) {
 	cfgPath := writeCfg(t, filepath.Dir(cfg.GoFiles[0]), cfg)
 
 	var code int
-	_, stderr := capture(t, func() { code = Main(cfgPath, passes.All(), false) })
+	_, stderr := capture(t, func() { code = Main(cfgPath, passes.All(), passes.All(), false) })
 	if code != 2 {
 		t.Fatalf("exit code = %d, want 2\nstderr: %s", code, stderr)
 	}
@@ -106,7 +112,7 @@ func TestUnitJSON(t *testing.T) {
 	cfgPath := writeCfg(t, filepath.Dir(cfg.GoFiles[0]), cfg)
 
 	var code int
-	stdout, _ := capture(t, func() { code = Main(cfgPath, passes.All(), true) })
+	stdout, _ := capture(t, func() { code = Main(cfgPath, passes.All(), passes.All(), true) })
 	if code != 0 {
 		t.Fatalf("exit code = %d, want 0", code)
 	}
@@ -128,7 +134,7 @@ func TestUnitSkips(t *testing.T) {
 		mutate(&cfg)
 		cfgPath := writeCfg(t, filepath.Dir(cfg.GoFiles[0]), cfg)
 		var code int
-		_, stderr := capture(t, func() { code = Main(cfgPath, passes.All(), false) })
+		_, stderr := capture(t, func() { code = Main(cfgPath, passes.All(), passes.All(), false) })
 		if code != 0 || stderr != "" {
 			t.Errorf("%s: code=%d stderr=%q, want clean skip", name, code, stderr)
 		}
@@ -170,5 +176,172 @@ func TestFlagsJSONShape(t *testing.T) {
 	}
 	if seen["json"] != 1 {
 		t.Errorf("json flag appears %d times", seen["json"])
+	}
+}
+
+// stdExports lazily maps stdlib import paths to export-data files so
+// scratch units may import fmt and friends, mirroring the PackageFile map
+// cmd/go hands a real vet tool.
+var stdExports = struct {
+	once sync.Once
+	m    map[string]string
+	err  error
+}{}
+
+func stdExportFiles(t *testing.T) map[string]string {
+	t.Helper()
+	stdExports.once.Do(func() {
+		out, err := exec.Command("go", "list", "-export", "-e",
+			"-json=ImportPath,Export", "std").Output()
+		if err != nil {
+			stdExports.err = err
+			return
+		}
+		m := map[string]string{}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var p struct{ ImportPath, Export string }
+			if err := dec.Decode(&p); errors.Is(err, io.EOF) {
+				break
+			} else if err != nil {
+				stdExports.err = err
+				return
+			}
+			if p.Export != "" {
+				m[p.ImportPath] = p.Export
+			}
+		}
+		stdExports.m = m
+	})
+	if stdExports.err != nil {
+		t.Fatalf("go list -export std: %v", stdExports.err)
+	}
+	return stdExports.m
+}
+
+// mixedSrc violates three repo-wide analyzers at known lines: nakedgo
+// twice, errwrap once, shadow once.
+const mixedSrc = `package scratch
+
+import "fmt"
+
+func LeakA(fn func()) {
+	go fn()
+}
+
+func Wrap(err error) error {
+	return fmt.Errorf("scratch: %v", err)
+}
+
+func LeakB(fn func()) {
+	go fn()
+}
+
+func Shadowed() int {
+	len := 3
+	return len
+}
+`
+
+// TestUnitMixedJSON runs a unit that trips several analyzers in -json mode
+// and pins the grouped shape: one key per firing analyzer, findings within
+// a key in ascending position order.
+func TestUnitMixedJSON(t *testing.T) {
+	cfg, _ := scratchUnit(t, mixedSrc)
+	cfg.PackageFile = stdExportFiles(t)
+	cfgPath := writeCfg(t, filepath.Dir(cfg.GoFiles[0]), cfg)
+
+	var code int
+	stdout, _ := capture(t, func() { code = Main(cfgPath, passes.All(), passes.All(), true) })
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 in JSON mode", code)
+	}
+	var out map[string]map[string][]struct{ Posn, Message string }
+	if err := json.Unmarshal([]byte(stdout), &out); err != nil {
+		t.Fatalf("stdout is not the vet JSON shape: %v\n%s", err, stdout)
+	}
+	got := out["scratch"]
+	if n := len(got["nakedgo"]); n != 2 {
+		t.Errorf("nakedgo findings = %d, want 2: %v", n, got)
+	}
+	if n := len(got["errwrap"]); n != 1 {
+		t.Errorf("errwrap findings = %d, want 1: %v", n, got)
+	}
+	if n := len(got["shadow"]); n != 1 {
+		t.Errorf("shadow findings = %d, want 1: %v", n, got)
+	}
+	if len(got) != 3 {
+		t.Errorf("got %d analyzer groups, want exactly the three firing ones: %v", len(got), got)
+	}
+	// Within one analyzer the findings keep driver order: position-sorted.
+	ng := got["nakedgo"]
+	if len(ng) == 2 && !(lineOf(t, ng[0].Posn) < lineOf(t, ng[1].Posn)) {
+		t.Errorf("nakedgo findings out of position order: %v", ng)
+	}
+}
+
+// lineOf extracts the line number from a file:line:col position string.
+func lineOf(t *testing.T, posn string) int {
+	t.Helper()
+	parts := strings.Split(posn, ":")
+	if len(parts) < 3 {
+		t.Fatalf("malformed position %q", posn)
+	}
+	n, err := strconv.Atoi(parts[len(parts)-2])
+	if err != nil {
+		t.Fatalf("malformed position %q: %v", posn, err)
+	}
+	return n
+}
+
+// TestUnitAnalyzerSubset drives Main with only part of the suite active,
+// the way `go vet -vettool=… -nakedgo` does after flag selection: inactive
+// analyzers must not report even though their violations are present.
+func TestUnitAnalyzerSubset(t *testing.T) {
+	var naked []*analysis.Analyzer
+	for _, a := range passes.All() {
+		if a.Name == "nakedgo" {
+			naked = append(naked, a)
+		}
+	}
+	if len(naked) != 1 {
+		t.Fatalf("nakedgo not found in the suite")
+	}
+
+	cfg, _ := scratchUnit(t, mixedSrc)
+	cfg.PackageFile = stdExportFiles(t)
+	cfgPath := writeCfg(t, filepath.Dir(cfg.GoFiles[0]), cfg)
+	var code int
+	_, stderr := capture(t, func() { code = Main(cfgPath, naked, passes.All(), false) })
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "raw go statement") {
+		t.Errorf("stderr missing the active analyzer's finding:\n%s", stderr)
+	}
+	if strings.Contains(stderr, "loses the chain") || strings.Contains(stderr, "shadows") {
+		t.Errorf("inactive analyzers reported in subset mode:\n%s", stderr)
+	}
+
+	// The complement: everything but nakedgo. The naked go statements must
+	// go unreported, the other findings must remain.
+	var rest []*analysis.Analyzer
+	for _, a := range passes.All() {
+		if a.Name != "nakedgo" {
+			rest = append(rest, a)
+		}
+	}
+	cfg2, _ := scratchUnit(t, mixedSrc)
+	cfg2.PackageFile = stdExportFiles(t)
+	cfgPath2 := writeCfg(t, filepath.Dir(cfg2.GoFiles[0]), cfg2)
+	_, stderr = capture(t, func() { code = Main(cfgPath2, rest, passes.All(), false) })
+	if code != 2 {
+		t.Fatalf("complement exit code = %d, want 2\nstderr: %s", code, stderr)
+	}
+	if strings.Contains(stderr, "raw go statement") {
+		t.Errorf("disabled analyzer still reported:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "loses the chain") || !strings.Contains(stderr, "shadows") {
+		t.Errorf("complement run missing expected findings:\n%s", stderr)
 	}
 }

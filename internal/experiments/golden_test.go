@@ -15,6 +15,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -168,7 +169,7 @@ var goldenStudies = map[string]func(e *Env, w io.Writer) error{
 		return nil
 	},
 	"gnn": func(e *Env, w io.Writer) error {
-		g, err := e.GNN()
+		g, err := e.GNN(context.Background())
 		if err != nil {
 			return err
 		}
@@ -176,7 +177,7 @@ var goldenStudies = map[string]func(e *Env, w io.Writer) error{
 		return nil
 	},
 	"evolve": func(e *Env, w io.Writer) error {
-		s, err := e.Evolve()
+		s, err := e.Evolve(context.Background())
 		if err != nil {
 			return err
 		}

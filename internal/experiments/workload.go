@@ -48,8 +48,9 @@ type GNNStudy struct {
 func gnnSuite() []string { return []string{"ski", "pok", "wik"} }
 
 // GNN runs the multi-layer GNN study on SPADE-Sextans (scale 4), one
-// concurrent job per matrix.
-func (e *Env) GNN() (*GNNStudy, error) {
+// concurrent job per matrix. ctx bounds every preprocessing call the study
+// issues.
+func (e *Env) GNN(ctx context.Context) (*GNNStudy, error) {
 	shorts := gnnSuite()
 	rows := make([]GNNRow, len(shorts))
 	if err := par.ForEachErr(len(shorts), func(i int) error {
@@ -62,13 +63,13 @@ func (e *Env) GNN() (*GNNStudy, error) {
 		m := e.Matrix(b)
 		features := dense.NewRandom(rand.New(rand.NewSource(e.Seed)), m.N, a.K)
 
-		ht, err := workload.GNN(context.Background(), m, &a, features, workload.GNNConfig{
+		ht, err := workload.GNN(ctx, m, &a, features, workload.GNNConfig{
 			Layers: gnnLayers, Seed: e.Seed, Label: "gnn/" + b.Short, Timeline: e.timeline,
 		})
 		if err != nil {
 			return err
 		}
-		iu, err := workload.GNN(context.Background(), m, &a, nil, workload.GNNConfig{
+		iu, err := workload.GNN(ctx, m, &a, nil, workload.GNNConfig{
 			Layers: gnnLayers, Strategy: hotcore.StrategyIUnaware, Seed: e.Seed,
 			SkipFunctional: true,
 		})
@@ -181,8 +182,9 @@ func evolveThresholds() []float64 { return []float64{-1, 0.5, 0.2, 0.1, 0.05, 0.
 
 // Evolve runs the evolving-graph study: one preferential-attachment edit
 // stream against the pok matrix, swept over the re-plan threshold ladder,
-// one concurrent job per threshold.
-func (e *Env) Evolve() (*EvolveStudy, error) {
+// one concurrent job per threshold. ctx bounds the baseline preprocessing
+// and every per-threshold run.
+func (e *Env) Evolve(ctx context.Context) (*EvolveStudy, error) {
 	b, ok := gen.ByShort(evolveShort)
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown benchmark %q", evolveShort)
@@ -200,7 +202,7 @@ func (e *Env) Evolve() (*EvolveStudy, error) {
 	}
 
 	// Baseline: one inference on the initial plan, pricing the re-plan.
-	plan, err := hotcore.PreprocessCtx(context.Background(), m, &a, hotcore.Options{
+	plan, err := hotcore.PreprocessCtx(ctx, m, &a, hotcore.Options{
 		OpsPerMAC: 2, Seed: e.Seed,
 	})
 	if err != nil {
@@ -218,7 +220,7 @@ func (e *Env) Evolve() (*EvolveStudy, error) {
 	ths := evolveThresholds()
 	rows := make([]EvolveRow, len(ths))
 	if err := par.ForEachErr(len(ths), func(i int) error {
-		res, err := workload.Evolve(context.Background(), m, &a, batches, workload.EvolveConfig{
+		res, err := workload.Evolve(ctx, m, &a, batches, workload.EvolveConfig{
 			Threshold: ths[i], Seed: e.Seed, SkipFunctional: true,
 			Label: fmt.Sprintf("evolve/th%g", ths[i]), Timeline: e.timeline,
 		})

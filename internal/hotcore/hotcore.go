@@ -142,6 +142,9 @@ func Preprocess(m *sparse.COO, a *arch.Arch, strategy Strategy, opsPerMAC float6
 
 // PreprocessOpts is Preprocess with full kernel control.
 func PreprocessOpts(m *sparse.COO, a *arch.Arch, o Options) (*Prep, error) {
+	// This is the context-free facade itself: callers who have no ctx land
+	// here, and the Background is the documented "no cancellation" root.
+	//lint:ignore ctxflow PreprocessOpts is the no-context entry point; everything below threads ctx.
 	return PreprocessCtx(context.Background(), m, a, o)
 }
 

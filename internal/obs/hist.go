@@ -74,6 +74,17 @@ func (h *Histogram) ObserveSince(t0 time.Time) {
 	h.Observe(time.Since(t0).Nanoseconds())
 }
 
+// Now returns a wall-clock reading for latency measurement. The
+// deterministic core (sim, model, partition, tile, workload) must not call
+// time.Now directly — the detrand analyzer enforces that the one sanctioned
+// clock lives behind the obs facade, where it only ever feeds histograms,
+// never simulation state.
+func Now() time.Time { return time.Now() }
+
+// SinceNS returns the nanoseconds elapsed since a Now reading. Pair with
+// Now for deep-timing measurements in the deterministic core.
+func SinceNS(t0 time.Time) int64 { return time.Since(t0).Nanoseconds() }
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 {
 	if h == nil {

@@ -77,6 +77,8 @@ func (m *COO) Clone() *COO {
 // (matrix generation is dominated by this sort). Matrices too large for
 // the packing fall back to sorting an index permutation with the same
 // three-way comparator.
+//
+//hot:path
 func (m *COO) SortRowMajor() {
 	if m.IsRowMajor() {
 		return
@@ -117,6 +119,8 @@ func (m *COO) SortRowMajor() {
 // may run on not-yet-validated input (e.g. a malformed MatrixMarket file),
 // and the packed-key path must not be taken when a coordinate would
 // overflow its bit field.
+//
+//hot:path
 func coordsFit(m *COO, limit int32) bool {
 	or := int32(0)
 	for i := range m.Rows {
@@ -126,6 +130,8 @@ func coordsFit(m *COO, limit int32) bool {
 }
 
 // applyPerm reorders the nonzeros so position i holds old entry perm[i].
+//
+//hot:path
 func (m *COO) applyPerm(perm []int32) {
 	rows := make([]int32, len(perm))
 	cols := make([]int32, len(perm))

@@ -138,6 +138,8 @@ func Partition(m *sparse.COO, tileH, tileW int) (*Grid, error) {
 // inputs take the generic pdqsort; larger ones an LSD radix sort over aux,
 // which the caller reuses across tiles (the returned slice is the possibly
 // grown aux). Both paths produce the identical sorted order.
+//
+//hot:path
 func sortInt32(s, aux []int32) []int32 {
 	const radixMin = 128
 	if len(s) < radixMin {
@@ -184,6 +186,8 @@ func sortInt32(s, aux []int32) []int32 {
 
 // countRuns counts distinct values in a slice where equal values are
 // contiguous (sorted or row-major grouped).
+//
+//hot:path
 func countRuns(s []int32) int {
 	if len(s) == 0 {
 		return 0
