@@ -82,8 +82,13 @@ race:
 # simulator, and the experiment fan-out. Output lands in BENCH_$(BENCH_PR).json
 # (committed as this PR's baseline); diff two baselines with
 # `./bin/benchdiff [-threshold 1.25] BENCH_old.json BENCH_new.json`.
-BENCH_PR ?= 8
-TRACKED_BENCH = BenchmarkExperimentsFanout|BenchmarkTilePartition|BenchmarkModelEstimateGrid|BenchmarkSimulateHeterogeneous|BenchmarkPartitionHotTiles
+BENCH_PR ?= 9
+# Iteration budget per tracked benchmark in `make bench`. The committed
+# baselines are measured on an otherwise idle machine with a few seconds
+# per benchmark; short-sample runs of the ~100ms studies are noise-bound.
+BENCHTIME ?= 3s
+TRACKED_BENCH = BenchmarkExperimentsFanout|BenchmarkTilePartition|BenchmarkModelEstimateGrid|BenchmarkSimulateHeterogeneous|BenchmarkPartitionHotTiles|BenchmarkSpMMParallel
+TRACKED_BENCH_SIM = BenchmarkEngine|BenchmarkWaterfill|BenchmarkRunnerReuse
 TRACKED_BENCH_WORKLOAD = BenchmarkGNNForward|BenchmarkEvolveReplan
 TRACKED_BENCH_LINT = BenchmarkLintSuite
 
@@ -92,10 +97,10 @@ bin/benchdiff: FORCE
 	$(GO) build -o bin/benchdiff ./cmd/benchdiff
 
 bench: bin/benchdiff
-	{ $(GO) test -run=NONE -bench='BenchmarkEngine|BenchmarkWaterfill' -benchmem ./internal/sim && \
-	  $(GO) test -run=NONE -bench='$(TRACKED_BENCH_WORKLOAD)' -benchmem ./internal/workload && \
-	  $(GO) test -run=NONE -bench='$(TRACKED_BENCH_LINT)' -benchmem ./internal/analysis && \
-	  $(GO) test -run=NONE -bench='$(TRACKED_BENCH)' -benchmem . ; } \
+	{ $(GO) test -run=NONE -bench='$(TRACKED_BENCH_SIM)' -benchmem -benchtime=$(BENCHTIME) ./internal/sim && \
+	  $(GO) test -run=NONE -bench='$(TRACKED_BENCH_WORKLOAD)' -benchmem -benchtime=$(BENCHTIME) ./internal/workload && \
+	  $(GO) test -run=NONE -bench='$(TRACKED_BENCH_LINT)' -benchmem -benchtime=$(BENCHTIME) ./internal/analysis && \
+	  $(GO) test -run=NONE -bench='$(TRACKED_BENCH)' -benchmem -benchtime=$(BENCHTIME) . ; } \
 	| tee /dev/stderr | ./bin/benchdiff -emit BENCH_$(BENCH_PR).json
 
 # benchsmoke compiles and runs every benchmark in the module for exactly one
@@ -112,7 +117,7 @@ benchsmoke:
 # the precise comparison before updating the baseline).
 BENCHCMP_THRESHOLD ?= 4.0
 benchcmp: bin/benchdiff
-	{ $(GO) test -run=NONE -bench='BenchmarkEngine|BenchmarkWaterfill' -benchmem -benchtime=10ms ./internal/sim && \
+	{ $(GO) test -run=NONE -bench='$(TRACKED_BENCH_SIM)' -benchmem -benchtime=10ms ./internal/sim && \
 	  $(GO) test -run=NONE -bench='$(TRACKED_BENCH_WORKLOAD)' -benchmem -benchtime=10ms ./internal/workload && \
 	  $(GO) test -run=NONE -bench='$(TRACKED_BENCH_LINT)' -benchmem -benchtime=10ms ./internal/analysis && \
 	  $(GO) test -run=NONE -bench='$(TRACKED_BENCH)' -benchmem -benchtime=10ms . ; } \

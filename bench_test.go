@@ -11,6 +11,7 @@ package hottiles
 import (
 	"bytes"
 	"math/rand"
+	"runtime"
 	"strconv"
 	"testing"
 
@@ -151,6 +152,13 @@ func BenchmarkTableIX(b *testing.B) {
 // variant is expected to run at least 2x faster; on a single core the two
 // collapse to the same serial execution (and identical results — see
 // TestParallelStudyMatchesSerial).
+//
+// Each variant starts from a freshly collected heap. Without that, whichever
+// sub-benchmark runs second inherits the first one's garbage and GC-pacing
+// state and measures tens of milliseconds slower on identical work — the
+// "parallel slower than serial" inversion recorded in BENCH_8.json was
+// exactly this ordering artifact, not a property of the pool
+// (TestFanoutParity holds the two variants to a noise bound).
 func BenchmarkExperimentsFanout(b *testing.B) {
 	for _, cfg := range []struct {
 		name    string
@@ -158,8 +166,40 @@ func BenchmarkExperimentsFanout(b *testing.B) {
 	}{{"serial", 1}, {"parallel", 0}} {
 		b.Run(cfg.name, func(b *testing.B) {
 			defer par.SetWorkers(par.SetWorkers(cfg.workers))
+			runtime.GC()
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := newEnv(i).Fig10(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSpMMParallel pins the row-panel fan-out of the functional SpMM
+// kernel itself (PR 9): the same matrix·dense product once on a single
+// worker (the serial inner loop) and once over the GOMAXPROCS pool in
+// row-boundary-aligned panels. The outputs are bit-identical by
+// construction (TestPanelParallelBitIdentical); this tracks the wall-clock
+// side of that contract.
+func BenchmarkSpMMParallel(b *testing.B) {
+	m := benchMatrix()
+	din := NewDense(m.N, 32)
+	for i := range din.Data {
+		din.Data[i] = 1
+	}
+	for _, cfg := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			defer par.SetWorkers(par.SetWorkers(cfg.workers))
+			b.SetBytes(int64(m.NNZ()) * 32 * 8)
+			runtime.GC()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Reference(m, din); err != nil {
 					b.Fatal(err)
 				}
 			}

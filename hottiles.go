@@ -80,6 +80,11 @@ type (
 	SimOptions = sim.Options
 	// SimResult reports a simulated execution.
 	SimResult = sim.Result
+	// UnitCache memoizes built simulator work-unit pools across Simulate
+	// calls that revisit a (plan, architecture) combination — set it as
+	// SimOptions.Units when sweeping (GNN layers and batches do this
+	// internally already).
+	UnitCache = sim.UnitCache
 	// Benchmark describes one matrix of the paper's suites (Tables V/VIII).
 	Benchmark = gen.Benchmark
 	// CalibrationReport describes one vis_lat fit (paper §VI-B).

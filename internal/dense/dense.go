@@ -10,6 +10,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/par"
 	"repro/internal/semiring"
 	"repro/internal/sparse"
 )
@@ -99,32 +100,34 @@ func (m *Matrix) MaxAbsDiff(o *Matrix) (float64, error) {
 	if m.N != o.N || m.K != o.K {
 		return 0, fmt.Errorf("dense: shape mismatch %dx%d vs %dx%d", m.N, m.K, o.N, o.K)
 	}
-	max := 0.0
+	maxDiff := 0.0
 	for i, v := range m.Data {
-		if d := math.Abs(v - o.Data[i]); d > max {
-			max = d
+		if d := math.Abs(v - o.Data[i]); d > maxDiff {
+			maxDiff = d
 		}
 	}
-	return max, nil
+	return maxDiff, nil
 }
 
 // SpMM computes Dout += A · Din with the plain arithmetic semiring; Dout
 // must be pre-sized N×K and is accumulated into (matching the paper's
 // accumulate-on-top-of-output-row semantics, Fig 1).
+//
+// When A is row-sorted and large enough, the nonzero loop fans out over the
+// par pool in row-boundary-aligned panels (see rowCuts); the output is
+// bit-identical to the serial loop for any worker count.
 func SpMM(a *sparse.COO, din, dout *Matrix) error {
 	if din.N != a.N || dout.N != a.N || din.K != dout.K {
 		return fmt.Errorf("dense: SpMM shape mismatch: A %d, Din %dx%d, Dout %dx%d",
 			a.N, din.N, din.K, dout.N, dout.K)
 	}
-	k := din.K
-	for i := 0; i < a.NNZ(); i++ {
-		r, c, v := a.At(i)
-		in := din.Data[int(c)*k : int(c)*k+k]
-		out := dout.Data[int(r)*k : int(r)*k+k]
-		for j := 0; j < k; j++ {
-			out[j] += v * in[j]
-		}
+	if cuts := rowCuts(a.Rows, a.NNZ()*din.K); cuts != nil {
+		par.ForEach(len(cuts)-1, func(p int) {
+			spmmRange(a, din, dout, cuts[p], cuts[p+1])
+		})
+		return nil
 	}
+	spmmRange(a, din, dout, 0, a.NNZ())
 	return nil
 }
 
@@ -132,41 +135,38 @@ func SpMM(a *sparse.COO, din, dout *Matrix) error {
 // responsible for initializing Dout to the semiring's additive identity
 // (Fill(s.AddIdentity)) when a fresh product rather than an accumulation is
 // wanted.
+// Like SpMM, row-sorted inputs fan out over row-boundary-aligned panels with
+// a bit-identical result (semiring Add runs per row in serial order).
 func GSpMM(a *sparse.COO, din, dout *Matrix, s semiring.Semiring) error {
 	if din.N != a.N || dout.N != a.N || din.K != dout.K {
 		return fmt.Errorf("dense: GSpMM shape mismatch: A %d, Din %dx%d, Dout %dx%d",
 			a.N, din.N, din.K, dout.N, dout.K)
 	}
-	k := din.K
-	for i := 0; i < a.NNZ(); i++ {
-		r, c, v := a.At(i)
-		in := din.Data[int(c)*k : int(c)*k+k]
-		out := dout.Data[int(r)*k : int(r)*k+k]
-		for j := 0; j < k; j++ {
-			out[j] = s.Add(out[j], s.Mul(v, in[j]))
-		}
+	if cuts := rowCuts(a.Rows, a.NNZ()*din.K); cuts != nil {
+		par.ForEach(len(cuts)-1, func(p int) {
+			gspmmRange(a, din, dout, s, cuts[p], cuts[p+1])
+		})
+		return nil
 	}
+	gspmmRange(a, din, dout, s, 0, a.NNZ())
 	return nil
 }
 
 // SpMMCSR computes Dout += A · Din from a CSR matrix; functionally identical
-// to SpMM and used to cross-check format conversions.
+// to SpMM and used to cross-check format conversions. CSR rows are disjoint
+// output slices by construction, so large inputs row-split over the par pool
+// with a bit-identical result.
 func SpMMCSR(a *sparse.CSR, din, dout *Matrix) error {
 	if din.N != a.N || dout.N != a.N || din.K != dout.K {
 		return fmt.Errorf("dense: SpMMCSR shape mismatch")
 	}
-	k := din.K
-	for r := 0; r < a.N; r++ {
-		out := dout.Data[r*k : r*k+k]
-		cols, vals := a.Row(r)
-		for i, c := range cols {
-			v := vals[i]
-			in := din.Data[int(c)*k : int(c)*k+k]
-			for j := 0; j < k; j++ {
-				out[j] += v * in[j]
-			}
-		}
+	if par.Workers() > 1 && a.NNZ()*din.K >= parMinWork {
+		par.Chunks(a.N, func(lo, hi int) {
+			spmmCSRRows(a, din, dout, lo, hi)
+		})
+		return nil
 	}
+	spmmCSRRows(a, din, dout, 0, a.N)
 	return nil
 }
 

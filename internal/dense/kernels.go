@@ -3,41 +3,44 @@ package dense
 import (
 	"fmt"
 
+	"repro/internal/par"
 	"repro/internal/sparse"
 )
 
 // SpMV computes y += A·x, the K = 1 special case of SpMM (paper §X lists it
-// as a direct application of HotTiles).
+// as a direct application of HotTiles). Row-sorted inputs fan out over
+// row-boundary-aligned panels like SpMM.
 func SpMV(a *sparse.COO, x, y []float64) error {
 	if len(x) != a.N || len(y) != a.N {
 		return fmt.Errorf("dense: SpMV shape mismatch: A %d, x %d, y %d", a.N, len(x), len(y))
 	}
-	for i := 0; i < a.NNZ(); i++ {
-		r, c, v := a.At(i)
-		y[r] += v * x[c]
+	if cuts := rowCuts(a.Rows, a.NNZ()); cuts != nil {
+		par.ForEach(len(cuts)-1, func(p int) {
+			spmvRange(a, x, y, cuts[p], cuts[p+1])
+		})
+		return nil
 	}
+	spmvRange(a, x, y, 0, a.NNZ())
 	return nil
 }
 
 // SDDMM computes the sampled dense-dense matrix multiplication: for every
 // nonzero (r, c, v) of A, out[i] = v · ⟨U[r,:], V[c,:]⟩. The output is
-// sparse — one value per nonzero of A, aligned with A's nonzero order.
+// sparse — one value per nonzero of A, aligned with A's nonzero order. Every
+// nonzero owns its output slot, so large inputs split over the par pool on
+// arbitrary nnz ranges with a bit-identical result.
 func SDDMM(a *sparse.COO, u, v *Matrix) ([]float64, error) {
 	if u.N != a.N || v.N != a.N || u.K != v.K {
 		return nil, fmt.Errorf("dense: SDDMM shape mismatch: A %d, U %dx%d, V %dx%d",
 			a.N, u.N, u.K, v.N, v.K)
 	}
 	out := make([]float64, a.NNZ())
-	k := u.K
-	for i := 0; i < a.NNZ(); i++ {
-		r, c, val := a.At(i)
-		ur := u.Data[int(r)*k : int(r)*k+k]
-		vc := v.Data[int(c)*k : int(c)*k+k]
-		dot := 0.0
-		for j := 0; j < k; j++ {
-			dot += ur[j] * vc[j]
-		}
-		out[i] = val * dot
+	if par.Workers() > 1 && a.NNZ()*u.K >= parMinWork {
+		par.Chunks(a.NNZ(), func(lo, hi int) {
+			sddmmRange(a, u, v, out, lo, hi)
+		})
+		return out, nil
 	}
+	sddmmRange(a, u, v, out, 0, a.NNZ())
 	return out, nil
 }

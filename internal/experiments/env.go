@@ -6,6 +6,8 @@
 package experiments
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"math"
 	"time"
@@ -51,6 +53,15 @@ type Env struct {
 	// (arch, benchmark) cell shares one entry.
 	ests par.Cache[string, *partition.Estimates]
 	runs par.Cache[string, *runOut]
+	// archs canonicalizes the by-value arch copies exec works on into one
+	// stable pointer per distinct configuration (keyed on the gob encoding,
+	// which covers every field), because units is pointer-keyed.
+	archs par.Cache[string, *arch.Arch]
+	// units memoizes built simulator unit pools across runs — strategies
+	// that degenerate to the same assignment (HotTiles falling back to
+	// all-cold on uniform matrices, tables revisiting a figure's cells)
+	// skip pool construction and the cold pool's cache-model replay.
+	units sim.UnitCache
 }
 
 // NewEnv returns an Env at the given matrix scale.
@@ -131,6 +142,20 @@ func (e *Env) estimates(a *arch.Arch, b gen.Benchmark, opsPerMAC float64) (*part
 	})
 }
 
+// archPtr returns the canonical pointer for an arch value. Two exec calls
+// carrying equal configurations observe the same pointer, so pointer-keyed
+// downstream caches (the unit cache) can hit across them.
+func (e *Env) archPtr(a arch.Arch) (*arch.Arch, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&a); err != nil {
+		return nil, err
+	}
+	return e.archs.Get(buf.String(), func() (*arch.Arch, error) {
+		cp := a
+		return &cp, nil
+	})
+}
+
 // Strategy identifiers reused across experiments.
 const (
 	StratHotOnly  = "HotOnly"
@@ -203,13 +228,18 @@ func (e *Env) exec(a arch.Arch, b gen.Benchmark, strat string, opsPerMAC float64
 		// partitioner planned for.
 		sr := semiring.PlusTimes()
 		sr.OpsPerMAC = opsPerMAC
+		ap, err := e.archPtr(a)
+		if err != nil {
+			return nil, err
+		}
 		sim1 := sp.Start("sim")
-		r, err := sim.Run(g, part.Hot, &a, nil, sim.Options{
+		r, err := sim.Run(g, part.Hot, ap, nil, sim.Options{
 			Serial:         serial,
 			Semiring:       &sr,
 			SkipFunctional: true,
 			Timeline:       e.timeline,
 			TimelineLabel:  key,
+			Units:          &e.units,
 		})
 		sim1.End()
 		if err != nil {
@@ -239,9 +269,14 @@ func (e *Env) execHeuristic(a arch.Arch, b gen.Benchmark, h partition.Heuristic)
 		if err != nil {
 			return nil, err
 		}
-		r, err := sim.Run(es.Grid, part.Hot, &a, nil, sim.Options{
+		ap, err := e.archPtr(a)
+		if err != nil {
+			return nil, err
+		}
+		r, err := sim.Run(es.Grid, part.Hot, ap, nil, sim.Options{
 			Serial: part.Serial, SkipFunctional: true,
 			Timeline: e.timeline, TimelineLabel: key,
+			Units: &e.units,
 		})
 		if err != nil {
 			return nil, err

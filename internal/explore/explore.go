@@ -54,6 +54,10 @@ func IsoScale(m *sparse.COO, total, tileSize int) ([]Entry, error) {
 		if err != nil {
 			return err
 		}
+		// No sim.UnitCache here (unlike GNN layers or batches): every entry
+		// simulates a distinct skewed architecture, so no two runs could
+		// share built unit pools — the Runner free list inside sim.Run is
+		// the applicable reuse.
 		r, err := sim.Run(g, res.Hot, &a, nil, sim.Options{
 			Serial:         res.Serial,
 			SkipFunctional: true,

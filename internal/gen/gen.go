@@ -86,9 +86,40 @@ func PowerLaw(rng *rand.Rand, n int, avgDeg float64, gamma float64) *sparse.COO 
 		cum[i+1] = cum[i] + math.Pow(float64(i+1), -alpha)
 	}
 	total := cum[n]
+	// Acceleration index over the inverse-transform search: bucket b holds
+	// the least l with cum[l+1] >= b·total/B, so a draw starts its binary
+	// search on the short range [start[b], start[b+1]] instead of [0, n].
+	// The bracket is re-validated against the exact predicate before the
+	// search, so floating-point rounding in the bucket arithmetic can never
+	// change which index a given target maps to — draws are bit-identical
+	// to the full-range search, and the rand stream is untouched.
+	nb := n
+	if nb > 1<<16 {
+		nb = 1 << 16
+	}
+	start := make([]int32, nb+2)
+	for b, l := 1, 0; b <= nb; b++ {
+		t := float64(b) * total / float64(nb)
+		for l < n-1 && cum[l+1] < t {
+			l++
+		}
+		start[b] = int32(l)
+	}
+	start[nb+1] = int32(n - 1)
+	invBucket := float64(nb) / total
 	draw := func() int32 {
 		target := rng.Float64() * total
-		lo, hi := 0, n
+		b := int(target * invBucket)
+		if b > nb {
+			b = nb
+		}
+		lo, hi := int(start[b]), int(start[b+1])
+		for lo > 0 && cum[lo] >= target {
+			lo--
+		}
+		for hi < n-1 && cum[hi+1] < target {
+			hi++
+		}
 		for lo < hi {
 			mid := (lo + hi) / 2
 			if cum[mid+1] < target {
@@ -145,10 +176,31 @@ func Stencil3D(wx, wy, wz, blockSize int) *sparse.COO {
 	n := wx * wy * wz * blockSize
 	m := sparse.NewCOO(n, 27*n)
 	pt := func(x, y, z int) int { return (z*wy+y)*wx + x }
+	// Interior points visit all 27 neighbors, so the per-neighbor bounds
+	// checks only matter on the six faces; the interior fast path emits the
+	// same neighbors in the same (dz, dy, dx) order without them.
+	emit := func(p, q int) {
+		for bi := 0; bi < blockSize; bi++ {
+			for bj := 0; bj < blockSize; bj++ {
+				m.Append(int32(p*blockSize+bi), int32(q*blockSize+bj), 1)
+			}
+		}
+	}
 	for z := 0; z < wz; z++ {
 		for y := 0; y < wy; y++ {
 			for x := 0; x < wx; x++ {
 				p := pt(x, y, z)
+				if x > 0 && x < wx-1 && y > 0 && y < wy-1 && z > 0 && z < wz-1 {
+					for dz := -1; dz <= 1; dz++ {
+						for dy := -1; dy <= 1; dy++ {
+							base := pt(x-1, y+dy, z+dz)
+							emit(p, base)
+							emit(p, base+1)
+							emit(p, base+2)
+						}
+					}
+					continue
+				}
 				for dz := -1; dz <= 1; dz++ {
 					for dy := -1; dy <= 1; dy++ {
 						for dx := -1; dx <= 1; dx++ {
@@ -156,12 +208,7 @@ func Stencil3D(wx, wy, wz, blockSize int) *sparse.COO {
 							if nx < 0 || nx >= wx || ny < 0 || ny >= wy || nz < 0 || nz >= wz {
 								continue
 							}
-							q := pt(nx, ny, nz)
-							for bi := 0; bi < blockSize; bi++ {
-								for bj := 0; bj < blockSize; bj++ {
-									m.Append(int32(p*blockSize+bi), int32(q*blockSize+bj), 1)
-								}
-							}
+							emit(p, pt(nx, ny, nz))
 						}
 					}
 				}

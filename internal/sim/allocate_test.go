@@ -10,7 +10,7 @@ import (
 func claimEngine(t *testing.T, p *pool, bytes []float64, totalBW float64) *engine {
 	t.Helper()
 	for _, b := range bytes {
-		p.units = append(p.units, unit{phases: []phase{{bytes: b}}})
+		p.units = append(p.units, unitOf(0, phase{bytes: b}))
 	}
 	e, err := newEngine([]*pool{p}, totalBW)
 	if err != nil {
@@ -76,8 +76,8 @@ func TestEngineMixedSpeedPoolSaturatesLink(t *testing.T) {
 		linkBW:      100e9,
 	}
 	p.units = []unit{
-		{phases: []phase{{bytes: 1e9}}},
-		{phases: []phase{{bytes: 9e9}}},
+		unitOf(0, phase{bytes: 1e9}),
+		unitOf(0, phase{bytes: 9e9}),
 	}
 	tm, _, err := runEngine([]*pool{p}, 1e12)
 	if err != nil {

@@ -3,6 +3,8 @@ package sim
 import (
 	"math"
 	"testing"
+
+	"repro/internal/arch"
 )
 
 // benchEnginePools builds a deterministic synthetic workload shaped like a
@@ -20,20 +22,14 @@ func benchEnginePools() []*pool {
 	}
 	cold := &pool{name: "cold", workers: 16, perWorkerBW: 12e9}
 	for i := 0; i < 1024; i++ {
-		cold.units = append(cold.units, unit{
-			phases: []phase{{compute: 0.5e-6 + next()*2e-6, bytes: 0.2e6 + next()*1.0e6}},
-			flops:  1e6,
-		})
+		cold.units = append(cold.units, unitOf(1e6,
+			phase{compute: 0.5e-6 + next()*2e-6, bytes: 0.2e6 + next()*1.0e6}))
 	}
 	hot := &pool{name: "hot", workers: 4, perWorkerBW: 60e9, linkBW: 120e9}
 	for i := 0; i < 256; i++ {
-		hot.units = append(hot.units, unit{
-			phases: []phase{
-				{compute: 1e-6 + next()*4e-6, bytes: 0.5e6 + next()*2.5e6},
-				{bytes: 0.1e6 + next()*0.4e6},
-			},
-			flops: 4e6,
-		})
+		hot.units = append(hot.units, unitOf(4e6,
+			phase{compute: 1e-6 + next()*4e-6, bytes: 0.5e6 + next()*2.5e6},
+			phase{bytes: 0.1e6 + next()*0.4e6}))
 	}
 	return []*pool{cold, hot}
 }
@@ -80,4 +76,48 @@ func BenchmarkWaterfill(b *testing.B) {
 	if math.IsNaN(grants[0]) {
 		b.Fatal("unexpected NaN")
 	}
+}
+
+// BenchmarkRunnerReuse quantifies the multi-run engine stack on a fixed
+// (grid, assignment, architecture): "fresh" constructs a new Runner per run
+// (the pre-PR-9 sim.Run cost without the free list), "reused" amortizes one
+// Runner's scratch across runs, and "unitcache" additionally memoizes the
+// built unit pools — the GNN-layer / batch shape where construction
+// (including the cold cache-model replay) drops out entirely.
+func BenchmarkRunnerReuse(b *testing.B) {
+	a := scaledArch(arch.SpadeSextans(4), 64)
+	g, res, _ := testSetup(b, &a, 61)
+	opts := Options{SkipFunctional: true}
+	b.Run("fresh", func(b *testing.B) {
+		var out Result
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := NewRunner().RunInto(&out, g, res.Hot, &a, nil, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reused", func(b *testing.B) {
+		r := NewRunner()
+		var out Result
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := r.RunInto(&out, g, res.Hot, &a, nil, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("unitcache", func(b *testing.B) {
+		r := NewRunner()
+		var units UnitCache
+		cached := opts
+		cached.Units = &units
+		var out Result
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := r.RunInto(&out, g, res.Hot, &a, nil, cached); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -66,6 +66,19 @@ func newCache(capacityBytes, lineSize int) *cache {
 	return c
 }
 
+// reset restores the cache to its just-built state — every line invalid,
+// the LRU clock at zero — without reallocating, so a Runner reuses the
+// model across runs. A reset cache behaves bit-identically to a fresh
+// newCache of the same geometry.
+func (c *cache) reset() {
+	if c == nil {
+		return
+	}
+	clear(c.tags)
+	clear(c.lru)
+	c.clock = 0
+}
+
 // lineOf maps a byte address to its line number.
 func (c *cache) lineOf(addr uint64) uint64 {
 	if c.lineShift >= 0 {
@@ -86,21 +99,134 @@ func (c *cache) accessLine(line uint64) bool {
 	base := set * c.ways
 	c.clock++
 	tag := line + 1
-	victim, oldest := base, ^uint64(0)
-	for w := 0; w < c.ways; w++ {
-		i := base + w
-		if c.tags[i] == tag {
-			c.lru[i] = c.clock
+	// Hit scan first (tags only), victim scan only on a miss: hits — the
+	// common case — touch one lru slot instead of scanning both arrays.
+	// The victim is the first way with the minimal stamp, exactly what the
+	// previous fused scan selected.
+	tags := c.tags[base : base+c.ways]
+	for w, t := range tags {
+		if t == tag {
+			c.lru[base+w] = c.clock
 			return true
 		}
-		if c.lru[i] < oldest {
-			oldest = c.lru[i]
-			victim = i
+	}
+	lru := c.lru[base : base+c.ways]
+	victim, oldest := 0, lru[0]
+	for w := 1; w < len(lru); w++ {
+		if lru[w] < oldest {
+			oldest = lru[w]
+			victim = w
 		}
 	}
-	c.tags[victim] = tag
-	c.lru[victim] = c.clock
+	c.tags[base+victim] = tag
+	lru[victim] = c.clock
 	return false
+}
+
+// missLinesFold probes the class-0 line (col·foldL) of every packed
+// (row, col) key through c and appends each missed line, in key order, to
+// out (which is reset to empty first and returned). It is bit-identical to
+// calling accessLine(col·foldL) once per key — same hit/miss outcomes, same
+// clock advance, same victim choices — with the per-call slice and clock
+// bookkeeping hoisted out of the per-nonzero path; this loop replaces
+// accessLine on the cold-pool construction hot path, where one probe runs
+// per cold nonzero per strategy.
+//
+//hot:path
+func (c *cache) missLinesFold(nzs []uint64, foldL uint64, out []uint64) []uint64 {
+	out = out[:0]
+	if c.ways != 8 || !c.setPow2 {
+		for _, k := range nzs {
+			line := uint64(uint32(k)) * foldL
+			if !c.accessLine(line) {
+				out = append(out, line)
+			}
+		}
+		return out
+	}
+	mask, clk := c.setMask, c.clock
+	tags, lru := c.tags, c.lru
+	for _, k := range nzs {
+		line := uint64(uint32(k)) * foldL
+		base := int(line&mask) * 8
+		t8 := (*[8]uint64)(tags[base:])
+		l8 := (*[8]uint64)(lru[base:])
+		clk++
+		tag := line + 1
+		hit := false
+		for w, t := range t8 {
+			if t == tag {
+				l8[w] = clk
+				hit = true
+				break
+			}
+		}
+		if hit {
+			continue
+		}
+		victim, oldest := 0, l8[0]
+		for w := 1; w < 8; w++ {
+			if l8[w] < oldest {
+				oldest = l8[w]
+				victim = w
+			}
+		}
+		t8[victim] = tag
+		l8[victim] = clk
+		out = append(out, line)
+	}
+	c.clock = clk
+	return out
+}
+
+// missLines is missLinesFold over already-computed line numbers: it probes
+// each line through c (the shared level re-probing the private level's
+// misses) and appends the lines that miss again to out (reset first).
+// Bit-identical to calling accessLine per line.
+//
+//hot:path
+func (c *cache) missLines(lines []uint64, out []uint64) []uint64 {
+	out = out[:0]
+	if c.ways != 8 || !c.setPow2 {
+		for _, line := range lines {
+			if !c.accessLine(line) {
+				out = append(out, line)
+			}
+		}
+		return out
+	}
+	mask, clk := c.setMask, c.clock
+	tags, lru := c.tags, c.lru
+	for _, line := range lines {
+		base := int(line&mask) * 8
+		t8 := (*[8]uint64)(tags[base:])
+		l8 := (*[8]uint64)(lru[base:])
+		clk++
+		tag := line + 1
+		hit := false
+		for w, t := range t8 {
+			if t == tag {
+				l8[w] = clk
+				hit = true
+				break
+			}
+		}
+		if hit {
+			continue
+		}
+		victim, oldest := 0, l8[0]
+		for w := 1; w < 8; w++ {
+			if l8[w] < oldest {
+				oldest = l8[w]
+				victim = w
+			}
+		}
+		t8[victim] = tag
+		l8[victim] = clk
+		out = append(out, line)
+	}
+	c.clock = clk
+	return out
 }
 
 // access touches the line containing byte address addr and reports whether
@@ -124,6 +250,55 @@ func (c *cache) accessRange(addr uint64, n int) int {
 		}
 	}
 	return missed
+}
+
+// dinFoldFactor reports the line-class fold factor L for Din row accesses of
+// rowBytes through the (private, shared) hierarchy: when it returns L > 1,
+// simulating a single line per row and multiplying the missed bytes by L is
+// bit-identical to probing all L lines of the row.
+//
+// Why this is exact: every Din access in the cold builder starts at
+// addr = col·rowBytes, so the row's lines are numbers r·L+j for j in [0,L).
+// With power-of-two set counts that are multiples of L, the set index
+// (r·L+j) & mask = ((r·L) & mask) | j — class j occupies its own disjoint
+// group of sets, in every level of the hierarchy. Across rows, class j sees
+// the access sequence r₁,r₂,… — the same sequence for every j, and LRU
+// decisions depend only on the relative order of accesses within a set (the
+// shared clock is monotone), so all L classes replay identical hit/miss and
+// victim sequences. Misses filter identically into the shared level, where
+// the same disjointness holds. One class therefore stands in for all L.
+//
+// Returns 1 (no folding) whenever any condition fails: non-power-of-two
+// geometry anywhere, mismatched line sizes, or rowBytes not a power-of-two
+// multiple of the line size.
+func dinFoldFactor(private, shared *cache, rowBytes int) int {
+	lineSize := 0
+	for _, c := range [2]*cache{private, shared} {
+		if c == nil {
+			continue
+		}
+		if c.lineShift < 0 || !c.setPow2 {
+			return 1
+		}
+		if lineSize == 0 {
+			lineSize = c.lineSize
+		} else if c.lineSize != lineSize {
+			return 1
+		}
+	}
+	if lineSize <= 0 || rowBytes <= 0 || rowBytes%lineSize != 0 {
+		return 1
+	}
+	l := rowBytes / lineSize
+	if l <= 1 || l&(l-1) != 0 {
+		return 1
+	}
+	for _, c := range [2]*cache{private, shared} {
+		if c != nil && c.sets%l != 0 {
+			return 1
+		}
+	}
+	return l
 }
 
 // missThrough touches [addr, addr+n) through a two-level hierarchy: lines

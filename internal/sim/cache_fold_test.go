@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDinFoldFactorExact drives the folded Din simulation (one line per row,
+// misses scaled by the fold factor) and the exhaustive one (every line of
+// every row) over identical random access sequences and demands bit-identical
+// missed-byte results, per access and in total. This is the invariant the
+// cold-pool builder's fast path rests on.
+func TestDinFoldFactorExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	geometries := []struct {
+		name                 string
+		privBytes, sharBytes int
+		line, rowBytes       int
+	}{
+		{"private-only", 4096, 0, 64, 512},
+		{"private+shared", 4096, 32768, 64, 512},
+		{"shared-only", 0, 16384, 64, 256},
+		{"tiny-sets", 1024, 0, 64, 512}, // sets(2) < L(8): must not fold
+		{"row=line", 8192, 0, 64, 64},   // L=1: nothing to fold
+	}
+	for _, g := range geometries {
+		t.Run(g.name, func(t *testing.T) {
+			privA, privB := newCache(g.privBytes, g.line), newCache(g.privBytes, g.line)
+			sharA, sharB := newCache(g.sharBytes, g.line), newCache(g.sharBytes, g.line)
+			foldL := dinFoldFactor(privA, sharA, g.rowBytes)
+			if g.name == "tiny-sets" && foldL != 1 {
+				t.Fatalf("fold factor %d for sets < L, want 1", foldL)
+			}
+			rows := 0
+			for _, c := range []*cache{privA, sharA} {
+				if c != nil && c.sets*c.ways > rows {
+					rows = c.sets * c.ways
+				}
+			}
+			rows = rows*2/max(1, g.rowBytes/g.line) + 64 // force evictions
+			total := 0
+			for i := 0; i < 4000; i++ {
+				addr := uint64(rng.Intn(rows)) * uint64(g.rowBytes)
+				exact := missThrough(privA, sharA, addr, g.rowBytes)
+				var folded int
+				if foldL > 1 {
+					folded = foldL * missThrough(privB, sharB, addr, g.rowBytes/foldL)
+				} else {
+					folded = missThrough(privB, sharB, addr, g.rowBytes)
+				}
+				if exact != folded {
+					t.Fatalf("access %d (addr %d): exact=%d folded=%d (foldL=%d)",
+						i, addr, exact, folded, foldL)
+				}
+				total += exact
+			}
+			if total == 0 {
+				t.Fatal("degenerate sequence: no misses at all")
+			}
+		})
+	}
+}
+
+// TestDinFoldFactorGates checks the conditions under which folding must be
+// declined.
+func TestDinFoldFactorGates(t *testing.T) {
+	c64 := newCache(4096, 64)
+	c48 := newCache(4096, 48) // non-power-of-two line
+	cases := []struct {
+		name            string
+		priv, shar      *cache
+		rowBytes, wantL int
+	}{
+		{"both-nil", nil, nil, 512, 1},
+		{"pow2", c64, nil, 512, 8},
+		{"row-not-multiple", c64, nil, 96, 1},
+		{"row-not-pow2-multiple", c64, nil, 192, 1},
+		{"non-pow2-line", c48, nil, 480, 1},
+		{"mismatched-lines", c64, newCache(4096, 128), 512, 1},
+		{"zero-row", c64, nil, 0, 1},
+	}
+	for _, tc := range cases {
+		if got := dinFoldFactor(tc.priv, tc.shar, tc.rowBytes); got != tc.wantL {
+			t.Errorf("%s: fold factor %d, want %d", tc.name, got, tc.wantL)
+		}
+	}
+}

@@ -25,10 +25,35 @@ type phase struct {
 	bytes   float64 // bytes to move to/from main memory
 }
 
+// maxPhases bounds the stages of one work unit. The shipped generators emit
+// one phase (fully overlapping workers) or two (stream+compute, then the
+// write-back drain); the property tests go up to three.
+const maxPhases = 3
+
 // unit is a schedulable piece of work (a hot tile or a cold row chunk).
+// Phases are stored inline rather than in a per-unit slice so building a
+// pool of units performs no per-unit heap allocation and a Runner can reuse
+// one backing array across runs.
 type unit struct {
-	phases []phase
-	flops  float64
+	ph    [maxPhases]phase
+	nph   int32
+	flops float64
+}
+
+// addPhase appends one stage to the unit.
+func (u *unit) addPhase(p phase) {
+	u.ph[u.nph] = p
+	u.nph++
+}
+
+// unitOf builds a unit from its phases — construction-side convenience for
+// the builders and tests.
+func unitOf(flops float64, phs ...phase) unit {
+	u := unit{flops: flops}
+	for _, p := range phs {
+		u.addPhase(p)
+	}
+	return u
 }
 
 // pool is a set of identical workers self-scheduling from a shared unit
@@ -125,43 +150,99 @@ type engine struct {
 	demand    []float64 // aggregate demand per pool this round
 }
 
+// growInts reslices s to length n, reallocating only when the capacity is
+// insufficient — the engine-reset idiom that keeps a Runner's steady state
+// allocation-free once its scratch has grown to the workload's size.
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growInt32s(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growStats(s []poolStats, n int) []poolStats {
+	if cap(s) < n {
+		return make([]poolStats, n)
+	}
+	return s[:n]
+}
+
 // newEngine validates the pools and builds a ready-to-step engine with all
 // scratch sized for the run.
 func newEngine(pools []*pool, totalBW float64) (*engine, error) {
+	e := &engine{}
+	if err := e.reset(pools, totalBW); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// reset validates the pools and prepares the engine for a run, reusing
+// every scratch slice whose capacity suffices. A reset over pool shapes no
+// larger than any earlier run performs zero heap allocations, which is what
+// lets a Runner's steady state stay allocation-free (TestRunnerRunAllocs).
+func (e *engine) reset(pools []*pool, totalBW float64) error {
 	if totalBW <= 0 {
-		return nil, fmt.Errorf("sim: non-positive bandwidth")
+		return fmt.Errorf("sim: non-positive bandwidth")
 	}
 	total := 0
 	for _, p := range pools {
 		if p.workers < 0 {
-			return nil, fmt.Errorf("sim: pool %s has negative workers", p.name)
+			return fmt.Errorf("sim: pool %s has negative workers", p.name)
 		}
 		if len(p.units) > 0 && p.workers == 0 {
-			return nil, fmt.Errorf("sim: pool %s has units but no workers", p.name)
+			return fmt.Errorf("sim: pool %s has units but no workers", p.name)
 		}
 		total += p.workers
 	}
-	e := &engine{
-		pools:     pools,
-		totalBW:   totalBW,
-		workers:   make([]workerState, 0, total),
-		active:    make([]int32, 0, total),
-		next:      make([]int, len(pools)),
-		stats:     make([]poolStats, len(pools)),
-		claimIdx:  make([]int32, total),
-		claimCap:  make([]float64, total),
-		grants:    make([]float64, total),
-		unsat:     make([]int32, total),
-		poolFrom:  make([]int32, len(pools)),
-		poolCount: make([]int32, len(pools)),
-		demand:    make([]float64, len(pools)),
+	e.pools = pools
+	e.totalBW = totalBW
+	e.workers = e.workers[:0]
+	if cap(e.workers) < total {
+		e.workers = make([]workerState, 0, total)
 	}
+	e.active = e.active[:0]
+	if cap(e.active) < total {
+		e.active = make([]int32, 0, total)
+	}
+	e.next = growInts(e.next, len(pools))
+	e.stats = growStats(e.stats, len(pools))
+	e.claimIdx = growInt32s(e.claimIdx, total)
+	e.claimCap = growFloats(e.claimCap, total)
+	e.grants = growFloats(e.grants, total)
+	e.unsat = growInt32s(e.unsat, total)
+	e.poolFrom = growInt32s(e.poolFrom, len(pools))
+	e.poolCount = growInt32s(e.poolCount, len(pools))
+	e.demand = growFloats(e.demand, len(pools))
+	for i := range e.next {
+		e.next[i] = 0
+		e.stats[i] = poolStats{}
+	}
+	e.now = 0
+	e.steps = 0
+	e.allocValid = false
+	e.naiveAlloc = false
+	e.deep = nil
 	for pi, p := range pools {
 		for w := 0; w < p.workers; w++ {
 			e.workers = append(e.workers, workerState{pool: pi, idx: w, unitIdx: -1})
 		}
-		for _, u := range p.units {
-			e.stats[pi].Flops += u.flops
+		for ui := range p.units {
+			e.stats[pi].Flops += p.units[ui].flops
 		}
 	}
 	// Initial dispatch: hand every worker its first unit. From here on
@@ -173,12 +254,12 @@ func newEngine(pools []*pool, totalBW float64) (*engine, error) {
 		if e.next[w.pool] < len(p.units) {
 			w.unitIdx = e.next[w.pool]
 			e.next[w.pool]++
-			ph := p.units[w.unitIdx].phases[0]
+			ph := p.units[w.unitIdx].ph[0]
 			w.remC, w.remB = ph.compute, ph.bytes
 			e.active = append(e.active, int32(wi))
 		}
 	}
-	return e, nil
+	return nil
 }
 
 // runEngine simulates the pools sharing totalBW of memory bandwidth and
@@ -200,18 +281,25 @@ func runEngineObserved(pools []*pool, totalBW float64, tr *tracer, deep *engineD
 	if err != nil {
 		return 0, nil, err
 	}
+	t, stats := e.run(tr, deep)
+	return t, stats, nil
+}
+
+// run executes the event loop on a freshly reset engine with the optional
+// observability attachments and returns the makespan plus per-pool stats
+// (the stats slice aliases engine scratch; callers copy what they keep
+// before the next reset).
+func (e *engine) run(tr *tracer, deep *engineDeep) (float64, []poolStats) {
 	e.deep = deep
 	engineRuns.Inc()
-	for _, p := range pools {
+	for _, p := range e.pools {
 		engineUnits.Add(int64(len(p.units)))
 	}
-	defer func() {
-		engineSteps.Add(e.steps)
-		e.deep.finish()
-	}()
 	for e.step(tr) {
 	}
-	return e.now, e.stats, nil
+	engineSteps.Add(e.steps)
+	e.deep.finish()
+	return e.now, e.stats
 }
 
 // step advances the simulation to the next counter completion. It reports
@@ -293,8 +381,8 @@ func (e *engine) step(tr *tracer) bool {
 			p := e.pools[w.pool]
 			u := &p.units[w.unitIdx]
 			w.phaseIdx++
-			if w.phaseIdx < len(u.phases) {
-				ph := u.phases[w.phaseIdx]
+			if w.phaseIdx < int(u.nph) {
+				ph := u.ph[w.phaseIdx]
 				w.remC, w.remB = ph.compute, ph.bytes
 				continue
 			}
@@ -307,7 +395,7 @@ func (e *engine) step(tr *tracer) bool {
 				w.unitIdx = e.next[w.pool]
 				e.next[w.pool]++
 				w.phaseIdx = 0
-				first := p.units[w.unitIdx].phases[0]
+				first := p.units[w.unitIdx].ph[0]
 				w.remC, w.remB = first.compute, first.bytes
 			} else {
 				w.unitIdx = -1

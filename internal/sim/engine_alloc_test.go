@@ -104,7 +104,7 @@ func randPools(rng *rand.Rand) []*pool {
 				}
 				phases = append(phases, ph)
 			}
-			p.units = append(p.units, unit{phases: phases, flops: rng.Float64() * 1e6})
+			p.units = append(p.units, unitOf(rng.Float64()*1e6, phases...))
 		}
 		pools[pi] = p
 	}

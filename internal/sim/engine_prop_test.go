@@ -23,7 +23,7 @@ func randomPools(rng *rand.Rand) []*pool {
 		for u := 0; u < rng.Intn(12); u++ {
 			un := unit{flops: rng.Float64() * 1e6}
 			for ph := 0; ph < 1+rng.Intn(3); ph++ {
-				un.phases = append(un.phases, phase{
+				un.addPhase(phase{
 					compute: rng.Float64() * 1e-4,
 					bytes:   rng.Float64() * 1e6,
 				})
@@ -53,7 +53,7 @@ func TestEngineConservationProperty(t *testing.T) {
 			for _, u := range pl.units {
 				wantFlops[p] += u.flops
 				unitC := 0.0
-				for _, ph := range u.phases {
+				for _, ph := range u.ph[:u.nph] {
 					wantBytes[p] += ph.bytes
 					unitC += ph.compute
 				}
@@ -121,7 +121,9 @@ func TestEngineWorkersSpeedScaling(t *testing.T) {
 	mk := func(workers int) *pool {
 		p := &pool{name: "p", workers: workers, perWorkerBW: math.Inf(1)}
 		for i := 0; i < 32; i++ {
-			p.units = append(p.units, unit{phases: []phase{{compute: 1e-3}}})
+			u := unit{}
+			u.addPhase(phase{compute: 1e-3})
+			p.units = append(p.units, u)
 		}
 		return p
 	}

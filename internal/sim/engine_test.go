@@ -7,7 +7,7 @@ import (
 
 func TestEngineSingleWorkerComputeBound(t *testing.T) {
 	p := &pool{name: "p", workers: 1, perWorkerBW: math.Inf(1)}
-	p.units = []unit{{phases: []phase{{compute: 2e-3, bytes: 1e3}}, flops: 42}}
+	p.units = []unit{unitOf(42, phase{compute: 2e-3, bytes: 1e3})}
 	tm, stats, err := runEngine([]*pool{p}, 100e9)
 	if err != nil {
 		t.Fatal(err)
@@ -26,7 +26,7 @@ func TestEngineSingleWorkerComputeBound(t *testing.T) {
 
 func TestEngineSingleWorkerMemoryBound(t *testing.T) {
 	p := &pool{name: "p", workers: 1, perWorkerBW: 10e9}
-	p.units = []unit{{phases: []phase{{compute: 1e-6, bytes: 1e9}}}}
+	p.units = []unit{unitOf(0, phase{compute: 1e-6, bytes: 1e9})}
 	tm, _, err := runEngine([]*pool{p}, 100e9)
 	if err != nil {
 		t.Fatal(err)
@@ -39,11 +39,11 @@ func TestEngineSingleWorkerMemoryBound(t *testing.T) {
 
 func TestEngineSequentialPhases(t *testing.T) {
 	p := &pool{name: "p", workers: 1, perWorkerBW: 10e9}
-	p.units = []unit{{phases: []phase{
-		{compute: 5e-3},              // compute-only phase
-		{bytes: 50e6},                // memory-only phase: 5 ms at 10 GB/s
-		{compute: 1e-3, bytes: 10e6}, // overlapped: max(1 ms, 1 ms)
-	}}}
+	p.units = []unit{unitOf(0,
+		phase{compute: 5e-3},              // compute-only phase
+		phase{bytes: 50e6},                // memory-only phase: 5 ms at 10 GB/s
+		phase{compute: 1e-3, bytes: 10e6}, // overlapped: max(1 ms, 1 ms)
+	)}
 	tm, _, err := runEngine([]*pool{p}, 1e12)
 	if err != nil {
 		t.Fatal(err)
@@ -57,9 +57,9 @@ func TestEngineBandwidthContention(t *testing.T) {
 	// Two pools each wanting 80 GB/s against a 100 GB/s system: max-min
 	// gives each 50, so 1 GB each takes 0.02 s.
 	a := &pool{name: "a", workers: 1, perWorkerBW: 80e9}
-	a.units = []unit{{phases: []phase{{bytes: 1e9}}}}
+	a.units = []unit{unitOf(0, phase{bytes: 1e9})}
 	b := &pool{name: "b", workers: 1, perWorkerBW: 80e9}
-	b.units = []unit{{phases: []phase{{bytes: 1e9}}}}
+	b.units = []unit{unitOf(0, phase{bytes: 1e9})}
 	tm, stats, err := runEngine([]*pool{a, b}, 100e9)
 	if err != nil {
 		t.Fatal(err)
@@ -76,9 +76,9 @@ func TestEngineMaxMinRespectsSmallClaimant(t *testing.T) {
 	// One worker capped at 10 GB/s, one at 200 GB/s, system 100 GB/s:
 	// max-min grants 10 and 90.
 	small := &pool{name: "small", workers: 1, perWorkerBW: 10e9}
-	small.units = []unit{{phases: []phase{{bytes: 1e9}}}} // 0.1 s at 10 GB/s
+	small.units = []unit{unitOf(0, phase{bytes: 1e9})} // 0.1 s at 10 GB/s
 	big := &pool{name: "big", workers: 1, perWorkerBW: 200e9}
-	big.units = []unit{{phases: []phase{{bytes: 9e9}}}} // 0.1 s at 90 GB/s
+	big.units = []unit{unitOf(0, phase{bytes: 9e9})} // 0.1 s at 90 GB/s
 	tm, _, err := runEngine([]*pool{small, big}, 100e9)
 	if err != nil {
 		t.Fatal(err)
@@ -93,8 +93,8 @@ func TestEnginePoolLinkCap(t *testing.T) {
 	// even though the system has 100 GB/s.
 	p := &pool{name: "pcie", workers: 2, perWorkerBW: 50e9, linkBW: 10e9}
 	p.units = []unit{
-		{phases: []phase{{bytes: 1e9}}},
-		{phases: []phase{{bytes: 1e9}}},
+		unitOf(0, phase{bytes: 1e9}),
+		unitOf(0, phase{bytes: 1e9}),
 	}
 	tm, _, err := runEngine([]*pool{p}, 100e9)
 	if err != nil {
@@ -109,7 +109,7 @@ func TestEngineMultipleWorkersShareQueue(t *testing.T) {
 	// Four units of 1 ms compute on two workers: 2 ms total.
 	p := &pool{name: "p", workers: 2, perWorkerBW: math.Inf(1)}
 	for i := 0; i < 4; i++ {
-		p.units = append(p.units, unit{phases: []phase{{compute: 1e-3}}})
+		p.units = append(p.units, unitOf(0, phase{compute: 1e-3}))
 	}
 	tm, _, err := runEngine([]*pool{p}, 1e9)
 	if err != nil {
@@ -122,7 +122,7 @@ func TestEngineMultipleWorkersShareQueue(t *testing.T) {
 
 func TestEngineErrors(t *testing.T) {
 	p := &pool{name: "p", workers: 0}
-	p.units = []unit{{phases: []phase{{compute: 1}}}}
+	p.units = []unit{unitOf(0, phase{compute: 1})}
 	if _, _, err := runEngine([]*pool{p}, 1e9); err == nil {
 		t.Fatal("expected units-without-workers error")
 	}
@@ -147,8 +147,8 @@ func TestEngineZeroPhase(t *testing.T) {
 	// Units with zero-cost phases must not hang the engine.
 	p := &pool{name: "p", workers: 1, perWorkerBW: 1e9}
 	p.units = []unit{
-		{phases: []phase{{compute: 0, bytes: 0}}},
-		{phases: []phase{{compute: 1e-6}}},
+		unitOf(0, phase{compute: 0, bytes: 0}),
+		unitOf(0, phase{compute: 1e-6}),
 	}
 	tm, _, err := runEngine([]*pool{p}, 1e9)
 	if err != nil {

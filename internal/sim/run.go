@@ -1,12 +1,11 @@
 package sim
 
 import (
-	"fmt"
-
 	"repro/internal/arch"
 	"repro/internal/dense"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/semiring"
 	"repro/internal/tile"
 )
@@ -35,6 +34,10 @@ type Options struct {
 	// feeds the sim.step.dt.ns histogram even without a timeline.
 	Timeline      *obs.Timeline
 	TimelineLabel string
+	// Units, when non-nil, memoizes built unit pools across runs keyed on
+	// (grid, assignment, pool geometry) — see UnitCache. Sweeps that
+	// revisit a combination skip unit construction on the repeat runs.
+	Units *UnitCache
 }
 
 // Result reports one simulated execution.
@@ -110,136 +113,41 @@ func (r *Result) ColdGFLOPs() float64 {
 // (untiled chunked traversal), sharing the architecture's memory bandwidth.
 // din must be N×K. The semiring's OpsPerMAC drives both the timing and the
 // functional execution.
+//
+// Run draws a Runner from the package free list, so repeated calls — the
+// sweep shape — reuse pool, cache-model, and engine scratch instead of
+// reconstructing state per run. Results are bit-identical to a fresh
+// construction (see Runner).
 func Run(g *tile.Grid, hot []bool, a *arch.Arch, din *dense.Matrix, opts Options) (*Result, error) {
-	if err := a.Validate(); err != nil {
-		return nil, err
-	}
-	if len(hot) != len(g.Tiles) {
-		return nil, fmt.Errorf("sim: assignment length %d, want %d", len(hot), len(g.Tiles))
-	}
-	sr := semiring.PlusTimes()
-	if opts.Semiring != nil {
-		sr = *opts.Semiring
-	}
-	prm := model.Params{K: a.K, OpsPerMAC: sr.OpsPerMAC, Kernel: opts.Kernel}
-	if opts.Kernel == model.KernelSpMV {
-		prm.K = 1
-	}
-	if err := prm.Validate(); err != nil {
-		return nil, err
-	}
-	if !opts.SkipFunctional {
-		if din == nil || din.N != g.N || din.K != prm.K {
-			return nil, fmt.Errorf("sim: Din must be %dx%d", g.N, prm.K)
-		}
-	}
-
-	anyHot, anyCold := false, false
-	for _, h := range hot {
-		if h {
-			anyHot = true
-		} else {
-			anyCold = true
-		}
-	}
-	if anyHot && a.Hot.Count <= 0 {
-		return nil, fmt.Errorf("sim: hot tiles assigned but architecture %s has no hot workers", a.Name)
-	}
-	if anyCold && a.Cold.Count <= 0 {
-		return nil, fmt.Errorf("sim: cold tiles assigned but architecture %s has no cold workers", a.Name)
-	}
-
-	hotPool := buildHotPool(g, hot, a, prm)
-	coldPool := buildColdPool(g, hot, a, prm)
-
+	r := acquireRunner()
+	defer releaseRunner(r)
 	res := &Result{}
-	var trCold, trHot, trBoth *tracer
-	if opts.Trace {
-		trCold, trHot, trBoth = &tracer{}, &tracer{}, &tracer{}
-	}
-	deepOn := opts.Timeline != nil || obs.DeepTiming()
-	if opts.Serial {
-		// Cold pool first, then hot, each with the full memory system.
-		var dCold, dHot *engineDeep
-		if deepOn {
-			dCold = newEngineDeep(opts.Timeline, opts.TimelineLabel, []*pool{coldPool})
-		}
-		tCold, sCold, err := runEngineObserved([]*pool{coldPool}, a.BWBytes, trCold, dCold)
-		if err != nil {
-			return nil, err
-		}
-		if deepOn {
-			// The hot leg starts where the cold leg ended on the shared
-			// serial clock.
-			dHot = newEngineDeep(opts.Timeline, opts.TimelineLabel, []*pool{hotPool})
-			dHot.baseNS = simNS(tCold)
-		}
-		tHot, sHot, err := runEngineObserved([]*pool{hotPool}, a.BWBytes, trHot, dHot)
-		if err != nil {
-			return nil, err
-		}
-		res.Time = tCold + tHot
-		res.ColdElapsed, res.HotElapsed = sCold[0].Elapsed, sHot[0].Elapsed
-		res.ColdBytes, res.HotBytes = sCold[0].Bytes, sHot[0].Bytes
-		res.ColdFlops, res.HotFlops = sCold[0].Flops, sHot[0].Flops
-		if opts.Trace {
-			res.Trace = append(res.Trace, trCold.points...)
-			for _, pt := range trHot.points {
-				pt.T += tCold
-				// Relabel the single serial-hot pool as pool index 1.
-				pt.PoolBW = []float64{0, pt.PoolBW[0]}
-				res.Trace = append(res.Trace, pt)
-			}
-			for i := range res.Trace[:len(trCold.points)] {
-				res.Trace[i].PoolBW = append(res.Trace[i].PoolBW, 0)
-			}
-		}
-	} else {
-		var dBoth *engineDeep
-		if deepOn {
-			dBoth = newEngineDeep(opts.Timeline, opts.TimelineLabel, []*pool{coldPool, hotPool})
-		}
-		t, stats, err := runEngineObserved([]*pool{coldPool, hotPool}, a.BWBytes, trBoth, dBoth)
-		if err != nil {
-			return nil, err
-		}
-		if opts.Trace {
-			res.Trace = trBoth.points
-		}
-		res.Time = t
-		res.ColdElapsed, res.HotElapsed = stats[0].Elapsed, stats[1].Elapsed
-		res.ColdBytes, res.HotBytes = stats[0].Bytes, stats[1].Bytes
-		res.ColdFlops, res.HotFlops = stats[0].Flops, stats[1].Flops
-		if anyHot && anyCold && !a.AtomicRMW && opts.Kernel != model.KernelSDDMM {
-			// SDDMM outputs are disjoint per nonzero, so no merge is needed
-			// even with private buffers.
-			res.mergeBytes = 3 * float64(g.N) * float64(prm.K) * float64(a.Hot.ElemBytes)
-			res.MergeTime = res.mergeBytes / a.BWBytes
-			res.Time += res.MergeTime
-		}
-	}
-
-	if !opts.SkipFunctional {
-		if opts.Kernel == model.KernelSDDMM {
-			res.SDDMM = executeSDDMM(g, din)
-		} else {
-			out, err := execute(g, hot, din, sr)
-			if err != nil {
-				return nil, err
-			}
-			res.Output = out
-		}
+	if err := r.RunInto(res, g, hot, a, din, opts); err != nil {
+		return nil, err
 	}
 	return res, nil
 }
 
 // executeSDDMM computes the sampled dense-dense product functionally: both
 // factor matrices are din (U = V), matching the common attention/embedding
-// use; values align with the grid's tile-ordered nonzeros.
+// use; values align with the grid's tile-ordered nonzeros. The loop splits
+// over the par pool on tile-ordered nnz ranges — every nonzero writes only
+// its own output slot, so the split is bit-identical to the serial loop.
 func executeSDDMM(g *tile.Grid, din *dense.Matrix) []float64 {
 	out := make([]float64, g.NNZ())
+	par.Chunks(len(g.Vals), func(lo, hi int) {
+		sddmmRange(g, din, out, lo, hi)
+	})
+	return out
+}
+
+// sddmmRange is the SDDMM inner loop over the grid's tile-ordered nonzero
+// range [lo, hi).
+//
+//hot:path
+func sddmmRange(g *tile.Grid, din *dense.Matrix, out []float64, lo, hi int) {
 	k := din.K
-	for i := range g.Vals {
+	for i := lo; i < hi; i++ {
 		ur := din.Data[int(g.Rows[i])*k : int(g.Rows[i])*k+k]
 		vc := din.Data[int(g.Cols[i])*k : int(g.Cols[i])*k+k]
 		dot := 0.0
@@ -248,32 +156,48 @@ func executeSDDMM(g *tile.Grid, din *dense.Matrix) []float64 {
 		}
 		out[i] = g.Vals[i] * dot
 	}
-	return out
 }
 
 // execute performs the functional gSpMM: cold section in untiled row order,
 // hot section in tiled panel order, accumulated into per-pool buffers that
 // are merged with the semiring's additive monoid.
+//
+// The tile loop fans out over the par pool one row panel at a time. Panels
+// are row-disjoint (panel tr covers rows [tr·TileH, (tr+1)·TileH)) and each
+// panel walks its tiles in the serial (TR, TC) order, so every output row —
+// in both buffers — accumulates in exactly the serial floating-point order:
+// the result is bit-identical for any worker count, and the per-element
+// GMerge below is order-independent anyway.
 func execute(g *tile.Grid, hot []bool, din *dense.Matrix, sr semiring.Semiring) (*dense.Matrix, error) {
 	k := din.K
 	coldBuf := dense.NewFilled(g.N, k, sr.AddIdentity)
 	hotBuf := dense.NewFilled(g.N, k, sr.AddIdentity)
-	for i := range g.Tiles {
-		buf := coldBuf
-		if hot[i] {
-			buf = hotBuf
-		}
-		rows, cols, vals := g.TileNonzeros(i)
-		for j := range rows {
-			in := din.Row(int(cols[j]))
-			out := buf.Row(int(rows[j]))
-			for x := 0; x < k; x++ {
-				out[x] = sr.Add(out[x], sr.Mul(vals[j], in[x]))
+	par.ForEach(g.NumTR, func(tr int) {
+		for i := g.PanelStart[tr]; i < g.PanelStart[tr+1]; i++ {
+			buf := coldBuf
+			if hot[i] {
+				buf = hotBuf
 			}
+			rows, cols, vals := g.TileNonzeros(i)
+			executeTile(rows, cols, vals, din, buf, sr)
 		}
-	}
+	})
 	if err := dense.GMerge(coldBuf, hotBuf, sr); err != nil {
 		return nil, err
 	}
 	return coldBuf, nil
+}
+
+// executeTile accumulates one tile's nonzeros into its pool buffer.
+//
+//hot:path
+func executeTile(rows, cols []int32, vals []float64, din, buf *dense.Matrix, sr semiring.Semiring) {
+	k := din.K
+	for j := range rows {
+		in := din.Data[int(cols[j])*k : int(cols[j])*k+k]
+		out := buf.Data[int(rows[j])*k : int(rows[j])*k+k]
+		for x := 0; x < k; x++ {
+			out[x] = sr.Add(out[x], sr.Mul(vals[j], in[x]))
+		}
+	}
 }

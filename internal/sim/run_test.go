@@ -14,7 +14,7 @@ import (
 
 // testSetup builds a matrix with IMH (dense block + sparse background), a
 // grid, and a HotTiles partitioning for the given architecture.
-func testSetup(t *testing.T, a *arch.Arch, seed int64) (*tile.Grid, *partition.Result, *sparse.COO) {
+func testSetup(t testing.TB, a *arch.Arch, seed int64) (*tile.Grid, *partition.Result, *sparse.COO) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
 	n := 8 * a.TileH

@@ -1,0 +1,211 @@
+package sim
+
+import (
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/dense"
+	"repro/internal/model"
+	"repro/internal/obs"
+	"repro/internal/par"
+	"repro/internal/semiring"
+)
+
+// TestExecutePanelParallelBitIdentical pins the functional-execution
+// determinism argument: panels are row-disjoint and walk their tiles in
+// serial (TR, TC) order, so execute/executeSDDMM produce bit-identical
+// output for every worker count, per semiring — Equal, not AlmostEqual.
+func TestExecutePanelParallelBitIdentical(t *testing.T) {
+	a := scaledArch(arch.SpadeSextans(4), 64)
+	g, res, m := testSetup(t, &a, 31)
+	din := dense.NewRandom(rand.New(rand.NewSource(32)), m.N, a.K)
+
+	for _, s := range []struct {
+		name string
+		sr   semiring.Semiring
+	}{
+		{"plus-times", semiring.PlusTimes()},
+		{"min-plus", semiring.MinPlus()},
+	} {
+		prev := par.SetWorkers(1)
+		want, err := execute(g, res.Hot, din, s.sr)
+		par.SetWorkers(prev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{1, 2, 3, 8} {
+			par.SetWorkers(w)
+			got, err := execute(g, res.Hot, din, s.sr)
+			par.SetWorkers(prev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("%s: execute with %d workers differs from serial", s.name, w)
+			}
+		}
+	}
+
+	prev := par.SetWorkers(1)
+	wantS := executeSDDMM(g, din)
+	par.SetWorkers(prev)
+	for _, w := range []int{1, 2, 8} {
+		par.SetWorkers(w)
+		gotS := executeSDDMM(g, din)
+		par.SetWorkers(prev)
+		if len(gotS) != len(wantS) {
+			t.Fatalf("SDDMM length %d != %d", len(gotS), len(wantS))
+		}
+		for i := range gotS {
+			if gotS[i] != wantS[i] {
+				t.Fatalf("SDDMM with %d workers differs at %d", w, i)
+			}
+		}
+	}
+}
+
+// TestRunnerReuseMatchesFresh drives one Runner through a randomized
+// sequence of (matrix, architecture, kernel) runs and compares every result
+// against a fresh sim.Run: reused pool arrays, reset cache models, and the
+// recycled engine must be observationally invisible.
+func TestRunnerReuseMatchesFresh(t *testing.T) {
+	archs := []arch.Arch{
+		scaledArch(arch.SpadeSextans(4), 64),
+		scaledArch(arch.PIUMA(), 64),
+	}
+	r := NewRunner()
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 6; trial++ {
+		a := archs[trial%len(archs)]
+		g, res, m := testSetup(t, &a, int64(40+trial))
+		din := dense.NewRandom(rng, m.N, a.K)
+		opts := Options{}
+		if trial%3 == 1 {
+			opts.Kernel = model.KernelSDDMM
+		}
+		if trial%3 == 2 {
+			opts.Serial = true
+		}
+		want, err := Run(g, res.Hot, &a, din, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.Run(g, res.Hot, &a, din, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Time != want.Time || got.MergeTime != want.MergeTime ||
+			got.HotElapsed != want.HotElapsed || got.ColdElapsed != want.ColdElapsed ||
+			got.HotBytes != want.HotBytes || got.ColdBytes != want.ColdBytes ||
+			got.HotFlops != want.HotFlops || got.ColdFlops != want.ColdFlops {
+			t.Fatalf("trial %d: reused Runner stats %+v != fresh %+v", trial, got, want)
+		}
+		switch {
+		case want.Output != nil:
+			if got.Output == nil || !got.Output.Equal(want.Output) {
+				t.Fatalf("trial %d: reused Runner output differs", trial)
+			}
+		case want.SDDMM != nil:
+			if len(got.SDDMM) != len(want.SDDMM) {
+				t.Fatalf("trial %d: SDDMM length mismatch", trial)
+			}
+			for i := range want.SDDMM {
+				if got.SDDMM[i] != want.SDDMM[i] {
+					t.Fatalf("trial %d: SDDMM differs at %d", trial, i)
+				}
+			}
+		}
+	}
+}
+
+// TestRunnerRunAllocs extends the PR-4 zero-alloc pin from a single engine
+// step to a whole reused run: once a Runner has warmed up on a (grid,
+// arch) shape, a timing-only RunInto performs zero heap allocations — pool
+// construction, the cold builder's cache replay, and the event loop all run
+// on scratch.
+func TestRunnerRunAllocs(t *testing.T) {
+	a := scaledArch(arch.SpadeSextans(4), 64)
+	g, res, _ := testSetup(t, &a, 41)
+	r := NewRunner()
+	var out Result
+	opts := Options{SkipFunctional: true}
+	for i := 0; i < 3; i++ {
+		if err := r.RunInto(&out, g, res.Hot, &a, nil, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := r.RunInto(&out, g, res.Hot, &a, nil, opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm RunInto allocated %v times per run, want 0", allocs)
+	}
+}
+
+// TestRunnerConcurrentWithMetricsScrapes is the -race hammer: concurrent
+// sim.Run callers (each drawing its own Runner from the free list, fanning
+// the functional kernels out over the shared par pool) race against
+// continuous /metrics scrapes (the same RegistrySnapshot path the debug
+// endpoint serves). Every run must still produce the serial-reference
+// output.
+func TestRunnerConcurrentWithMetricsScrapes(t *testing.T) {
+	a := scaledArch(arch.SpadeSextans(4), 64)
+	g, res, m := testSetup(t, &a, 51)
+	din := dense.NewRandom(rand.New(rand.NewSource(52)), m.N, a.K)
+	want, err := Run(g, res.Hot, &a, din, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var scraper sync.WaitGroup
+	scraper.Add(1)
+	go func() {
+		defer scraper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if err := obs.RegistrySnapshot().WriteMetricsText(io.Discard); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+
+	const goroutines, runs = 8, 8
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			for i := 0; i < runs; i++ {
+				r, err := Run(g, res.Hot, &a, din, Options{})
+				if err != nil {
+					errs[gi] = err
+					return
+				}
+				if r.Time != want.Time || !r.Output.Equal(want.Output) {
+					t.Errorf("goroutine %d run %d: result differs under concurrency", gi, i)
+					return
+				}
+			}
+		}(gi)
+	}
+	wg.Wait()
+	close(stop)
+	scraper.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -13,6 +13,7 @@ package sparse
 import (
 	"fmt"
 	"slices"
+	"sync"
 )
 
 // COO is a coordinate-format sparse matrix. Nonzeros are stored as parallel
@@ -90,12 +91,21 @@ func (m *COO) SortRowMajor() {
 		for i := 0; i < nnz; i++ {
 			keys[i] = uint64(m.Rows[i])<<44 | uint64(m.Cols[i])<<24 | uint64(i)
 		}
-		slices.Sort(keys)
-		perm := make([]int32, nnz)
+		// The low 24 bits hold the append index, already ascending, so the
+		// stable LSD passes over those bytes are identity permutations the
+		// sort can skip outright (see sortUint64). The permutation is applied
+		// straight off the sorted keys — no materialized perm array.
+		sortUint64(keys, 3)
+		rows := make([]int32, nnz)
+		cols := make([]int32, nnz)
+		vals := make([]float64, nnz)
 		for i, k := range keys {
-			perm[i] = int32(k & (1<<24 - 1))
+			p := k & (1<<24 - 1)
+			rows[i] = m.Rows[p]
+			cols[i] = m.Cols[p]
+			vals[i] = m.Vals[p]
 		}
-		m.applyPerm(perm)
+		m.Rows, m.Cols, m.Vals = rows, cols, vals
 		return
 	}
 	perm := make([]int32, nnz)
@@ -143,6 +153,85 @@ func (m *COO) applyPerm(perm []int32) {
 	}
 	m.Rows, m.Cols, m.Vals = rows, cols, vals
 }
+
+// sortUint64 sorts s ascending by the bytes from fromByte (0 = full keys)
+// upward: an LSD radix sort for large inputs, falling back to the comparison
+// sort below the size where radix wins. The keys here are distinct — every
+// packed key carries its original index — so any correct ascending sort
+// yields the identical sequence, and the pass count adapts by skipping bytes
+// all keys share.
+//
+// A non-zero fromByte requires the input to already be ascending in its low
+// 8·fromByte bits (the packed append index is). LSD radix passes are stable,
+// so sorting only the high bytes of such input reproduces exactly the full
+// lexicographic order — the skipped low-byte passes would have been identity
+// permutations — at a fraction of the histogram and shuffle cost.
+//
+//hot:path
+func sortUint64(s []uint64, fromByte int) {
+	const radixMin = 256
+	if len(s) < radixMin {
+		slices.Sort(s)
+		return
+	}
+	auxp := radixAux.Get().(*[]uint64)
+	if cap(*auxp) < len(s) {
+		*auxp = make([]uint64, len(s))
+	}
+	aux := (*auxp)[:len(s)]
+	var count [8][256]int
+	if fromByte == 3 { // packed (row, col, idx) keys: idx bytes pre-sorted
+		for _, v := range s {
+			count[3][(v>>24)&0xff]++
+			count[4][(v>>32)&0xff]++
+			count[5][(v>>40)&0xff]++
+			count[6][(v>>48)&0xff]++
+			count[7][(v>>56)&0xff]++
+		}
+	} else {
+		for _, v := range s {
+			count[0][v&0xff]++
+			count[1][(v>>8)&0xff]++
+			count[2][(v>>16)&0xff]++
+			count[3][(v>>24)&0xff]++
+			count[4][(v>>32)&0xff]++
+			count[5][(v>>40)&0xff]++
+			count[6][(v>>48)&0xff]++
+			count[7][(v>>56)&0xff]++
+		}
+	}
+	from, to := s, aux
+	for pass := fromByte; pass < 8; pass++ {
+		shift := uint(pass * 8)
+		c := &count[pass]
+		// All keys share this byte: the pass is the identity, skip it.
+		if c[(from[0]>>shift)&0xff] == len(s) {
+			continue
+		}
+		offs := 0
+		for b := 0; b < 256; b++ {
+			n := c[b]
+			c[b] = offs
+			offs += n
+		}
+		for _, v := range from {
+			b := (v >> shift) & 0xff
+			to[c[b]] = v
+			c[b]++
+		}
+		from, to = to, from
+	}
+	if &from[0] != &s[0] {
+		copy(s, from)
+	}
+	radixAux.Put(auxp)
+}
+
+// radixAux pools sortUint64's scatter buffer: sweeps radix-sort many
+// matrices back to back, and every executed pass scatters a full
+// permutation into the buffer before anything reads it, so reuse (including
+// stale contents) is invisible to the result.
+var radixAux = sync.Pool{New: func() any { return new([]uint64) }}
 
 // IsRowMajor reports whether the nonzeros are sorted by (row, col).
 func (m *COO) IsRowMajor() bool {

@@ -2,6 +2,7 @@ package sparse
 
 import (
 	"math/rand"
+	"slices"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -180,6 +181,71 @@ func TestSortRowMajorProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSortUint64FromByte pins the radix sort against the library sort, for
+// full-key sorting and for the packed-key mode that skips the pre-sorted
+// index bytes, well above the radix cutover size.
+func TestSortUint64FromByte(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 255, 256, 4096, 100000} {
+		full := make([]uint64, n)
+		for i := range full {
+			full[i] = rng.Uint64()
+		}
+		want := append([]uint64(nil), full...)
+		slices.Sort(want)
+		sortUint64(full, 0)
+		if !slices.Equal(full, want) {
+			t.Fatalf("n=%d: full-key radix sort diverges from slices.Sort", n)
+		}
+
+		// Packed mode: high 40 bits random, low 24 bits the ascending index.
+		packed := make([]uint64, n)
+		for i := range packed {
+			packed[i] = rng.Uint64()<<24 | uint64(i)
+		}
+		want = append([]uint64(nil), packed...)
+		slices.Sort(want)
+		sortUint64(packed, 3)
+		if !slices.Equal(packed, want) {
+			t.Fatalf("n=%d: packed-key radix sort diverges from slices.Sort", n)
+		}
+	}
+}
+
+// TestSortRowMajorMatchesStable pins the packed-key fast path against the
+// definitional stable comparison sort at a size well above the radix
+// cutover, with many duplicate coordinates so stability actually bites.
+func TestSortRowMajorMatchesStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const n, nnz = 64, 50000 // heavy duplication: ~12 entries per coordinate
+	m := NewCOO(n, nnz)
+	for i := 0; i < nnz; i++ {
+		m.Append(int32(rng.Intn(n)), int32(rng.Intn(n)), float64(i))
+	}
+	ref := m.Clone()
+	type entry struct {
+		r, c int32
+		v    float64
+	}
+	ents := make([]entry, nnz)
+	for i := range ents {
+		ents[i] = entry{ref.Rows[i], ref.Cols[i], ref.Vals[i]}
+	}
+	sort.SliceStable(ents, func(a, b int) bool {
+		if ents[a].r != ents[b].r {
+			return ents[a].r < ents[b].r
+		}
+		return ents[a].c < ents[b].c
+	})
+	m.SortRowMajor()
+	for i := range ents {
+		if m.Rows[i] != ents[i].r || m.Cols[i] != ents[i].c || m.Vals[i] != ents[i].v {
+			t.Fatalf("entry %d: got (%d,%d,%v), stable sort wants (%d,%d,%v)",
+				i, m.Rows[i], m.Cols[i], m.Vals[i], ents[i].r, ents[i].c, ents[i].v)
+		}
 	}
 }
 

@@ -8,7 +8,9 @@ package tile
 
 import (
 	"fmt"
+	"math/bits"
 	"slices"
+	"sync"
 
 	"repro/internal/obs"
 	"repro/internal/par"
@@ -52,6 +54,12 @@ type Grid struct {
 	Rows []int32
 	Cols []int32
 	Vals []float64
+
+	// Lazily built row-major view (RowMajor). Unexported so gob round trips
+	// (hotcore plans) skip it and rebuild on demand.
+	rmOnce sync.Once
+	rmKeys []uint64
+	rmTile []int32
 }
 
 // Partition tiles a row-major matrix m into tileH×tileW tiles.
@@ -80,27 +88,55 @@ func Partition(m *sparse.COO, tileH, tileW int) (*Grid, error) {
 	// index-out-of-range panic.
 	nbuckets := g.NumTR * g.NumTC
 	counts := make([]int, nbuckets+1)
-	bucketOf := func(r, c int32) int {
-		return (int(r)/tileH)*g.NumTC + int(c)/tileW
-	}
-	for i := 0; i < m.NNZ(); i++ {
-		r, c := m.Rows[i], m.Cols[i]
-		if r < 0 || int(r) >= m.N || c < 0 || int(c) >= m.N {
-			return nil, fmt.Errorf("tile: nonzero %d at (%d, %d) outside the %dx%d matrix", i, r, c, m.N, m.N)
+	nnz := m.NNZ()
+	if tileH&(tileH-1) == 0 && tileW&(tileW-1) == 0 {
+		// Power-of-two tiles — the TileSize default and every benchmark
+		// configuration — map to buckets with shifts instead of two integer
+		// divisions per nonzero. Identical mapping, and the loop bodies are
+		// spelled out (no per-nonzero closure call) because these two loops
+		// sit on the sweep hot path.
+		hs := uint(bits.TrailingZeros(uint(tileH)))
+		ws := uint(bits.TrailingZeros(uint(tileW)))
+		numTC := g.NumTC
+		for i := 0; i < nnz; i++ {
+			r, c := m.Rows[i], m.Cols[i]
+			if r < 0 || int(r) >= m.N || c < 0 || int(c) >= m.N {
+				return nil, fmt.Errorf("tile: nonzero %d at (%d, %d) outside the %dx%d matrix", i, r, c, m.N, m.N)
+			}
+			counts[(int(r)>>hs)*numTC+int(c)>>ws+1]++
 		}
-		counts[bucketOf(r, c)+1]++
-	}
-	for b := 0; b < nbuckets; b++ {
-		counts[b+1] += counts[b]
-	}
-	offsets := append([]int(nil), counts[:nbuckets]...)
-	for i := 0; i < m.NNZ(); i++ {
-		b := bucketOf(m.Rows[i], m.Cols[i])
-		o := offsets[b]
-		offsets[b]++
-		g.Rows[o] = m.Rows[i]
-		g.Cols[o] = m.Cols[i]
-		g.Vals[o] = m.Vals[i]
+		for b := 0; b < nbuckets; b++ {
+			counts[b+1] += counts[b]
+		}
+		offsets := append([]int(nil), counts[:nbuckets]...)
+		for i := 0; i < nnz; i++ {
+			b := (int(m.Rows[i])>>hs)*numTC + int(m.Cols[i])>>ws
+			o := offsets[b]
+			offsets[b]++
+			g.Rows[o] = m.Rows[i]
+			g.Cols[o] = m.Cols[i]
+			g.Vals[o] = m.Vals[i]
+		}
+	} else {
+		for i := 0; i < nnz; i++ {
+			r, c := m.Rows[i], m.Cols[i]
+			if r < 0 || int(r) >= m.N || c < 0 || int(c) >= m.N {
+				return nil, fmt.Errorf("tile: nonzero %d at (%d, %d) outside the %dx%d matrix", i, r, c, m.N, m.N)
+			}
+			counts[(int(r)/tileH)*g.NumTC+int(c)/tileW+1]++
+		}
+		for b := 0; b < nbuckets; b++ {
+			counts[b+1] += counts[b]
+		}
+		offsets := append([]int(nil), counts[:nbuckets]...)
+		for i := 0; i < nnz; i++ {
+			b := (int(m.Rows[i])/tileH)*g.NumTC + int(m.Cols[i])/tileW
+			o := offsets[b]
+			offsets[b]++
+			g.Rows[o] = m.Rows[i]
+			g.Cols[o] = m.Cols[i]
+			g.Vals[o] = m.Vals[i]
+		}
 	}
 
 	// Materialize non-empty tiles, then compute the per-tile statistics on
@@ -203,6 +239,47 @@ func countRuns(s []int32) int {
 
 // NNZ reports the total nonzeros across all tiles.
 func (g *Grid) NNZ() int { return len(g.Vals) }
+
+// RowMajor returns the grid's nonzeros in global (row, col)-ascending order
+// as packed keys (row<<32 | col), aligned with the tile index owning each
+// nonzero. The view is built once per grid and shared by every caller
+// (read-only; callers must not mutate the returned slices), so sweeps that
+// traverse the same matrix untiled — the cold-pool builder does, once per
+// simulated run — stop re-sorting the nonzeros per run.
+//
+// Ordering argument: the build is a counting sort by row that is stable
+// over the tile order. A row lives in exactly one panel; that panel's tiles
+// are visited in ascending tile-column order, tile column ranges are
+// disjoint and ascending, and within a tile entries are (row, col) sorted.
+// So within each row the columns come out ascending, and the result is
+// exactly the order slices.Sort would give the packed keys.
+func (g *Grid) RowMajor() (keys []uint64, tileOf []int32) {
+	g.rmOnce.Do(g.buildRowMajor)
+	return g.rmKeys, g.rmTile
+}
+
+func (g *Grid) buildRowMajor() {
+	nnz := g.NNZ()
+	g.rmKeys = make([]uint64, nnz)
+	g.rmTile = make([]int32, nnz)
+	counts := make([]int, g.N+1)
+	for _, r := range g.Rows {
+		counts[r+1]++
+	}
+	for r := 0; r < g.N; r++ {
+		counts[r+1] += counts[r]
+	}
+	for ti := range g.Tiles {
+		t := &g.Tiles[ti]
+		for j := t.Start; j < t.End; j++ {
+			r := g.Rows[j]
+			o := counts[r]
+			counts[r] = o + 1
+			g.rmKeys[o] = uint64(r)<<32 | uint64(uint32(g.Cols[j]))
+			g.rmTile[o] = int32(ti)
+		}
+	}
+}
 
 // Panel returns the tiles of row panel tr as a sub-slice of g.Tiles.
 func (g *Grid) Panel(tr int) []Tile {

@@ -96,6 +96,10 @@ func RunBatch(ctx context.Context, a *arch.Arch, reqs []Request, opts BatchOptio
 	}
 
 	var plans par.Cache[string, *hotcore.Prep]
+	// Requests that share a plan also share built unit pools: the batch's
+	// unit cache keys on (grid, assignment, arch, kernel params), so only
+	// the first request of each combination constructs pools.
+	var units sim.UnitCache
 	results := make([]RequestResult, len(reqs))
 	shared := make([]bool, len(reqs)) // true when the cache had the plan built
 	err := par.ForEachErr(len(reqs), func(i int) error {
@@ -134,6 +138,7 @@ func RunBatch(ctx context.Context, a *arch.Arch, reqs []Request, opts BatchOptio
 			Kernel:         r.Kernel,
 			Timeline:       opts.Timeline,
 			TimelineLabel:  label + "/" + name,
+			Units:          &units,
 		})
 		if err != nil {
 			return fmt.Errorf("workload: batch request %q: %w", name, err)

@@ -99,6 +99,10 @@ func GNNWithPlan(ctx context.Context, plan *hotcore.Prep, a *arch.Arch, features
 	sr.OpsPerMAC = cfg.OpsPerMAC
 	res := &GNNResult{Plan: plan, LayerTimes: make([]float64, 0, cfg.Layers)}
 	layers := cfg.Timeline.Track(label + "/layers")
+	// Every layer simulates the same (grid, assignment, architecture): the
+	// unit cache builds the pools on layer 0 and the remaining layers skip
+	// construction (including the cold pool's cache-model replay) entirely.
+	var units sim.UnitCache
 	h := features
 	for layer := 0; layer < cfg.Layers; layer++ {
 		if cerr := ctx.Err(); cerr != nil {
@@ -111,6 +115,7 @@ func GNNWithPlan(ctx context.Context, plan *hotcore.Prep, a *arch.Arch, features
 			SkipFunctional: cfg.SkipFunctional,
 			Timeline:       cfg.Timeline,
 			TimelineLabel:  fmt.Sprintf("%s/layer%d", label, layer),
+			Units:          &units,
 		})
 		slice.End()
 		if err != nil {
