@@ -12,7 +12,7 @@ GO ?= go
 # no-op paths are easy to leave untested by accident. internal/workload is
 # the PR 7 dynamic-workload engine, whose property/golden wall is the whole
 # point — a coverage drop there means the wall has holes.
-COVER_FLOORS = repro/internal/obs:60 repro/internal/workload:80
+COVER_FLOORS = repro/internal/obs:80 repro/internal/workload:80
 
 # Seconds of coverage-guided fuzzing per fuzzer in `make fuzz`.
 FUZZTIME ?= 10s

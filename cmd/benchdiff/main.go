@@ -1,8 +1,9 @@
-// Command benchdiff maintains the repo's benchmark baseline. It has two
+// Command benchdiff maintains the repo's benchmark baseline. It has three
 // modes:
 //
 //	go test -bench=... -benchmem ./... | benchdiff -emit BENCH_4.json
 //	benchdiff [-threshold 1.25] BENCH_old.json BENCH_new.json
+//	benchdiff -trajectory BENCH_4.json BENCH_7.json BENCH_8.json ...
 //
 // -emit parses `go test -bench` output from stdin into a JSON map of
 // benchmark name to {ns/op, B/op, allocs/op} (the committed BENCH_*.json
@@ -11,6 +12,10 @@
 // and exits non-zero when any shared benchmark slowed down by more than
 // the threshold factor, or when a zero-allocation benchmark started
 // allocating — the regressions `make bench` is meant to catch.
+// -trajectory reads the baselines in argument order (the PR sequence) and
+// prints one ns/op column per file plus the cumulative drift, flagging any
+// consecutive step that worsened beyond the threshold; it is informational
+// and always exits 0.
 package main
 
 import (
@@ -20,7 +25,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"path/filepath"
 	"regexp"
 	"slices"
 	"strconv"
@@ -209,15 +216,110 @@ func run(oldPath, newPath string, threshold float64, w io.Writer) (bool, error) 
 	return anyRegressed, nil
 }
 
+// trajRow is one benchmark's history across an ordered list of baseline
+// files: NaN marks files where the benchmark does not appear.
+type trajRow struct {
+	Name    string
+	NsPerOp []float64
+	// Worsened flags a consecutive present-to-present step whose ratio
+	// exceeded the threshold.
+	Worsened bool
+}
+
+// trajectoryRows pairs every benchmark seen anywhere with its per-file
+// history, in file order.
+func trajectoryRows(files []*File, threshold float64) []trajRow {
+	names := map[string]bool{}
+	for _, f := range files {
+		for n := range f.Benchmarks {
+			names[n] = true
+		}
+	}
+	rows := make([]trajRow, 0, len(names))
+	for name := range names {
+		row := trajRow{Name: name, NsPerOp: make([]float64, len(files))}
+		prev := 0.0
+		for i, f := range files {
+			m, ok := f.Benchmarks[name]
+			if !ok || m.NsPerOp <= 0 {
+				row.NsPerOp[i] = math.NaN()
+				continue
+			}
+			row.NsPerOp[i] = m.NsPerOp
+			if prev > 0 && m.NsPerOp/prev > threshold {
+				row.Worsened = true
+			}
+			prev = m.NsPerOp
+		}
+		rows = append(rows, row)
+	}
+	slices.SortFunc(rows, func(a, b trajRow) int {
+		return cmp.Compare(a.Name, b.Name)
+	})
+	return rows
+}
+
+// trajectory renders the per-benchmark trend table across the baselines in
+// path order. It never fails on drift — the table is the deliverable — but
+// flags steps beyond the threshold so a reader can spot the PR at fault.
+func trajectory(paths []string, threshold float64, w io.Writer) error {
+	if len(paths) < 2 {
+		return fmt.Errorf("benchdiff: -trajectory needs at least two baseline files")
+	}
+	files := make([]*File, len(paths))
+	for i, p := range paths {
+		f, err := readFile(p)
+		if err != nil {
+			return err
+		}
+		files[i] = f
+	}
+
+	fmt.Fprintf(w, "%-52s", "benchmark")
+	for _, p := range paths {
+		base := strings.TrimSuffix(filepath.Base(p), ".json")
+		fmt.Fprintf(w, "%14s", base)
+	}
+	fmt.Fprintf(w, "%9s\n", "drift")
+	for _, row := range trajectoryRows(files, threshold) {
+		fmt.Fprintf(w, "%-52s", row.Name)
+		first, last := math.NaN(), math.NaN()
+		for _, v := range row.NsPerOp {
+			if math.IsNaN(v) {
+				fmt.Fprintf(w, "%14s", "-")
+				continue
+			}
+			fmt.Fprintf(w, "%14.0f", v)
+			if math.IsNaN(first) {
+				first = v
+			}
+			last = v
+		}
+		if math.IsNaN(first) {
+			fmt.Fprintf(w, "%9s", "-")
+		} else {
+			fmt.Fprintf(w, "%+8.0f%%", (last/first-1)*100)
+		}
+		if row.Worsened {
+			fmt.Fprint(w, "  WORSENED")
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
 func main() {
 	emitPath := flag.String("emit", "", "parse `go test -bench` output from stdin and write a baseline JSON to this path")
 	threshold := flag.Float64("threshold", 1.25, "fail when new/old ns-per-op exceeds this factor")
+	traj := flag.Bool("trajectory", false, "print the per-benchmark ns/op trend across the baseline files given in order")
 	flag.Parse()
 
 	var err error
 	switch {
 	case *emitPath != "":
 		err = emit(*emitPath, os.Stdin)
+	case *traj:
+		err = trajectory(flag.Args(), *threshold, os.Stdout)
 	case flag.NArg() == 2:
 		var regressed bool
 		regressed, err = run(flag.Arg(0), flag.Arg(1), *threshold, os.Stdout)

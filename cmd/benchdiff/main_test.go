@@ -133,3 +133,54 @@ func TestReadFileRejectsGarbage(t *testing.T) {
 		t.Fatal("empty baseline accepted")
 	}
 }
+
+// TestTrajectory pins the trend-table mode: columns in file order, "-" for
+// benchmarks absent at a point, cumulative drift from the first present
+// value, and a WORSENED flag on any consecutive step beyond the threshold.
+func TestTrajectory(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	p1 := write("BENCH_1.json", `{"schema":"hottiles-bench/1","benchmarks":{
+		"BenchmarkSteady":{"ns_op":100},
+		"BenchmarkRegressed":{"ns_op":100}}}`)
+	p2 := write("BENCH_2.json", `{"schema":"hottiles-bench/1","benchmarks":{
+		"BenchmarkSteady":{"ns_op":105},
+		"BenchmarkRegressed":{"ns_op":200},
+		"BenchmarkNew":{"ns_op":50}}}`)
+
+	var sb strings.Builder
+	if err := trajectory([]string{p1, p2}, 1.25, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"BENCH_1", "BENCH_2", "BenchmarkSteady", "+5%", "+100%", "WORSENED"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trajectory output missing %q:\n%s", want, out)
+		}
+	}
+	for _, line := range strings.Split(out, "\n") {
+		switch {
+		case strings.Contains(line, "BenchmarkNew"):
+			if !strings.Contains(line, "-") {
+				t.Errorf("absent point not rendered as -: %s", line)
+			}
+			if strings.Contains(line, "WORSENED") {
+				t.Errorf("single-point benchmark flagged: %s", line)
+			}
+		case strings.Contains(line, "BenchmarkSteady"):
+			if strings.Contains(line, "WORSENED") {
+				t.Errorf("+5%% step flagged at 1.25x threshold: %s", line)
+			}
+		}
+	}
+
+	if err := trajectory([]string{p1}, 1.25, &sb); err == nil {
+		t.Fatal("single-file trajectory accepted")
+	}
+}

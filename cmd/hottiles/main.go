@@ -45,6 +45,7 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve the live debug endpoint (pprof, /metrics, /progress) on this address, e.g. :6060")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	logSpec := flag.String("log", "info:text", "diagnostic log level and format: level[:format], e.g. debug, warn:json")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -52,6 +53,12 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
+	logOpts, err := obs.ParseLogFlag(*logSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hottiles:", err)
+		os.Exit(2)
+	}
+	logger = obs.NewLogger(os.Stderr, logOpts)
 
 	stopProfiles, err := obs.StartProfiles(*cpuProfile, *memProfile)
 	if err != nil {
@@ -63,7 +70,7 @@ func main() {
 			fail(srvErr)
 		}
 		defer stop()
-		fmt.Fprintf(os.Stderr, "hottiles: debug endpoint on http://%s\n", addr)
+		logger.Info("hottiles.debug.listen", obs.Str("addr", addr))
 	}
 	obs.SetDeepTiming(*tracePath != "" || *timelinePath != "" || *debugAddr != "")
 	var tl *obs.Timeline
@@ -381,7 +388,17 @@ func writeSection(path string, m *sparse.COO) error {
 	return hottiles.WriteMatrixMarket(f, m)
 }
 
+// logger is the CLI's diagnostic stream (stderr; stdout stays the report).
+// main replaces it once the -log flag is parsed.
+var logger *obs.Logger
+
+// fail logs a fatal error as a structured line and exits. Before flag
+// parsing installs the logger, fall back to plain stderr.
 func fail(err error) {
-	fmt.Fprintln(os.Stderr, "hottiles:", err)
+	if logger == nil {
+		fmt.Fprintln(os.Stderr, "hottiles:", err)
+		os.Exit(1)
+	}
+	logger.Error("hottiles.fatal", obs.Str("err", err.Error()))
 	os.Exit(1)
 }

@@ -91,14 +91,14 @@ func (s *server) handleGNN(w http.ResponseWriter, r *http.Request) {
 	})
 	if err != nil {
 		gnnErrors.Inc()
-		s.planError(w, err)
+		s.planError(w, r, err)
 		return
 	}
 	resp, err := s.runGNN(ctx, hash, planBytes, layers)
 	if err != nil {
 		gnnErrors.Inc()
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-			s.planError(w, err)
+			s.planError(w, r, err)
 			return
 		}
 		http.Error(w, "hottilesd: "+err.Error(), http.StatusInternalServerError)

@@ -15,11 +15,19 @@
 //	GET  /healthz      liveness + store counters, JSON
 //	GET  /metrics      obs registry, Prometheus text exposition
 //	GET  /progress     running fan-out, JSON
+//	GET  /debug/requests  flight recorder: recent requests + post-mortems
 //	GET  /debug/pprof  standard Go profiling
 //
 // Overload is refused, not buffered: past -max-active concurrent builds
 // and a -max-queue wait line, POST /plan answers 429 with a Retry-After
-// estimate. SIGINT/SIGTERM drains in-flight requests before exiting.
+// estimate. SIGINT/SIGTERM drains in-flight requests before exiting;
+// SIGQUIT dumps the post-mortem ring to stderr and keeps serving.
+//
+// Every request carries one ID (inbound X-Request-ID / traceparent, minted
+// otherwise) through the access log, the response header, the span tree,
+// and /debug/requests — DESIGN.md §18. The daemon logs structured lines
+// (JSON by default; -log level:format) so drain, 429, and signal events
+// stay machine-parseable under load.
 package main
 
 import (
@@ -37,6 +45,10 @@ import (
 	"repro/internal/planstore"
 )
 
+// logger is the process logger; main replaces it once flags are parsed.
+// Package scope so fail() stays usable from any point after startup.
+var logger *obs.Logger
+
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8321", "listen address (port 0 picks a free port)")
 	archName := flag.String("arch", "spade-sextans:4",
@@ -53,12 +65,24 @@ func main() {
 	reqTimeout := flag.Duration("request-timeout", 60*time.Second, "per-request preprocessing deadline")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "shutdown drain deadline for in-flight requests")
 	maxUpload := flag.Int64("max-upload-bytes", 256<<20, "largest accepted MatrixMarket upload")
+	logSpec := flag.String("log", "info:json", "log level and format: level[:format], e.g. debug, warn:text")
+	logRate := flag.Int("log-rate", 1000, "max sub-warn log lines per second (0 = unlimited)")
+	slowThreshold := flag.Duration("slow-threshold", time.Second,
+		"requests at or above this latency are captured in the post-mortem ring (negative: disable)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: hottilesd [flags]")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
+	logOpts, err := obs.ParseLogFlag(*logSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hottilesd:", err)
+		os.Exit(2)
+	}
+	logOpts.SampleRate = *logRate
+	logger = obs.NewLogger(os.Stderr, logOpts)
+	obs.ConfigureFlight(obs.FlightConfig{SlowThreshold: *slowThreshold})
 
 	cfg := config{
 		archName:   *archName,
@@ -68,6 +92,7 @@ func main() {
 		seed:       *seed,
 		maxUpload:  *maxUpload,
 		reqTimeout: *reqTimeout,
+		log:        logger,
 		store: planstore.Config{
 			Dir:       *storeDir,
 			MaxBytes:  *cacheBytes,
@@ -75,7 +100,6 @@ func main() {
 			MaxQueue:  *maxQueue,
 		},
 	}
-	var err error
 	if cfg.arch, err = hottiles.ParseArch(*archName); err != nil {
 		fail(err)
 	}
@@ -107,21 +131,53 @@ func main() {
 	// the listener — like obs.ServeDebug's, it cannot run on the bounded
 	// task pool, so cmd/hottilesd is nakedgo-allowlisted.
 	go srv.Serve(ln)
-	fmt.Fprintf(os.Stderr, "hottilesd: listening on http://%s (arch %s, strategy %s)\n",
-		ln.Addr(), cfg.archName, cfg.stratName)
+	logger.Info("hottilesd.listen",
+		obs.Str("addr", ln.Addr().String()),
+		obs.Str("arch", cfg.archName),
+		obs.Str("strategy", cfg.stratName),
+	)
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	got := <-sig
-	fmt.Fprintf(os.Stderr, "hottilesd: %v, draining (up to %v)\n", got, *drainTimeout)
-	if err := obs.GracefulStop(srv, *drainTimeout); err != nil {
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGQUIT)
+	for got := range sig {
+		if got == syscall.SIGQUIT {
+			// Post-mortem dump on demand; the daemon keeps serving.
+			logger.Warn("hottilesd.postmortem.dump", obs.Str("signal", got.String()))
+			if err := obs.Flight().WritePostmortem(os.Stderr); err != nil {
+				logger.Error("hottilesd.postmortem.fail", obs.Str("err", err.Error()))
+			}
+			continue
+		}
+		if err := drain(srv, logger, got.String(), *drainTimeout); err != nil {
+			os.Exit(1)
+		}
+		return
+	}
+}
+
+// drain runs the signal-initiated shutdown: it announces the drain, runs
+// GracefulStop, and reports the outcome — all through the structured
+// logger, so the shutdown lines interleave whole with in-flight request
+// logs instead of racing them on stderr.
+func drain(srv *http.Server, log *obs.Logger, cause string, timeout time.Duration) error {
+	log.Warn("hottilesd.drain.start",
+		obs.Str("cause", cause), obs.Str("timeout", timeout.String()))
+	if err := obs.GracefulStop(srv, timeout); err != nil {
+		log.Error("hottilesd.drain.fail", obs.Str("err", err.Error()))
+		return err
+	}
+	log.Info("hottilesd.drain.done", obs.Str("cause", cause))
+	return nil
+}
+
+// fail logs a fatal startup error and exits. Before flag parsing installs
+// the real logger, the nil no-op logger would swallow the message — so
+// fail falls back to plain stderr in that window.
+func fail(err error) {
+	if logger == nil {
 		fmt.Fprintln(os.Stderr, "hottilesd:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintln(os.Stderr, "hottilesd: drained, bye")
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "hottilesd:", err)
+	logger.Error("hottilesd.fatal", obs.Str("err", err.Error()))
 	os.Exit(1)
 }

@@ -44,6 +44,11 @@ type config struct {
 	maxUpload  int64
 	reqTimeout time.Duration
 	store      planstore.Config
+
+	// log is the daemon's structured logger; per-request loggers derive
+	// from it in the observed middleware. nil (the tests' default) is a
+	// valid no-op logger.
+	log *obs.Logger
 }
 
 // server routes the plan API and the PR-5 debug plane on one mux.
@@ -51,6 +56,9 @@ type server struct {
 	cfg   config
 	store *planstore.Store
 	mux   *http.ServeMux
+	log   *obs.Logger
+	// tl records per-request slices; post-mortem captures take its tail.
+	tl *obs.Timeline
 
 	// buildHook, when non-nil, runs at the start of every plan build.
 	// Tests use it to hold builds open so admission-control behavior
@@ -58,19 +66,25 @@ type server struct {
 	buildHook func()
 }
 
+// serverTimelineEvents sizes the daemon's request timeline ring: enough
+// recent slices for a post-mortem tail without unbounded growth.
+const serverTimelineEvents = 4096
+
 // newServer wires the plan routes onto the observability mux, so one
-// listener serves plans, /metrics, /progress and pprof together.
+// listener serves plans, /metrics, /progress and pprof together. Every
+// plan-API route passes through the observed middleware (request IDs, RED
+// metrics, access log, flight recorder).
 func newServer(cfg config) (*server, error) {
 	store, err := planstore.New(cfg.store)
 	if err != nil {
 		return nil, err
 	}
-	s := &server{cfg: cfg, store: store}
+	s := &server{cfg: cfg, store: store, log: cfg.log, tl: obs.NewTimeline(serverTimelineEvents)}
 	mux := obs.DebugMux()
-	mux.HandleFunc("POST /plan", s.handleBuildPlan)
-	mux.HandleFunc("POST /gnn", s.handleGNN)
-	mux.HandleFunc("GET /plan/{hash}", s.handleGetPlan)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /plan", s.observed("plan", redPlan, s.handleBuildPlan))
+	mux.HandleFunc("POST /gnn", s.observed("gnn", redGNN, s.handleGNN))
+	mux.HandleFunc("GET /plan/{hash}", s.observed("planget", redPlanGet, s.handleGetPlan))
+	mux.HandleFunc("GET /healthz", s.observed("healthz", redHealthz, s.handleHealthz))
 	s.mux = mux
 	return s, nil
 }
@@ -155,7 +169,7 @@ func (s *server) handleBuildPlan(w http.ResponseWriter, r *http.Request) {
 		return s.buildPlan(ctx, body)
 	})
 	if err != nil {
-		s.planError(w, err)
+		s.planError(w, r, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-gob")
@@ -165,28 +179,35 @@ func (s *server) handleBuildPlan(w http.ResponseWriter, r *http.Request) {
 	planLatency.ObserveSince(t0)
 }
 
-// planError maps a pipeline or admission failure onto its status code.
-func (s *server) planError(w http.ResponseWriter, err error) {
+// planError maps a pipeline or admission failure onto its status code and
+// logs it with the request's ID (the logger rides r's context).
+func (s *server) planError(w http.ResponseWriter, r *http.Request, err error) {
 	planErrors.Inc()
+	log := obs.CtxLog(r.Context())
 	switch {
 	case errors.Is(err, planstore.ErrBusy):
 		planBusy.Inc()
 		retry := int(math.Ceil(s.store.RetryAfter().Seconds()))
+		log.Warn("httpd.busy", obs.Int("retry.after.s", retry))
 		w.Header().Set("Retry-After", strconv.Itoa(retry))
 		http.Error(w, "hottilesd: preprocessing queue full, retry later",
 			http.StatusTooManyRequests)
 	case errors.Is(err, context.DeadlineExceeded):
+		log.Error("httpd.timeout", obs.Str("err", err.Error()))
 		http.Error(w, "hottilesd: preprocessing exceeded the request timeout",
 			http.StatusGatewayTimeout)
 	case errors.Is(err, context.Canceled):
 		// The client went away; nobody reads this response.
+		log.Warn("httpd.canceled")
 		http.Error(w, "hottilesd: request canceled", http.StatusServiceUnavailable)
 	default:
 		var bad errBadMatrix
 		if errors.As(err, &bad) {
+			log.Warn("httpd.badrequest", obs.Str("err", bad.Error()))
 			http.Error(w, "hottilesd: "+bad.Error(), http.StatusBadRequest)
 			return
 		}
+		log.Error("httpd.fail", obs.Str("err", err.Error()))
 		http.Error(w, "hottilesd: "+err.Error(), http.StatusInternalServerError)
 	}
 }

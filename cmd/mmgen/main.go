@@ -35,21 +35,27 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	debugAddr := flag.String("debug-addr", "", "serve the live debug endpoint (pprof, /metrics, /progress) on this address, e.g. :6060")
+	logSpec := flag.String("log", "info:text", "diagnostic log level and format: level[:format], e.g. debug, warn:json")
 	flag.Parse()
+
+	logOpts, err := obs.ParseLogFlag(*logSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mmgen:", err)
+		os.Exit(2)
+	}
+	logger = obs.NewLogger(os.Stderr, logOpts)
 
 	stopProfiles, err := obs.StartProfiles(*cpuProfile, *memProfile)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mmgen:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	if *debugAddr != "" {
 		addr, stop, srvErr := obs.ServeDebug(*debugAddr)
 		if srvErr != nil {
-			fmt.Fprintln(os.Stderr, "mmgen:", srvErr)
-			os.Exit(1)
+			fail(srvErr)
 		}
 		defer stop()
-		fmt.Fprintf(os.Stderr, "mmgen: debug endpoint on http://%s\n", addr)
+		logger.Info("mmgen.debug.listen", obs.Str("addr", addr))
 		obs.SetDeepTiming(true)
 	}
 
@@ -67,30 +73,42 @@ func main() {
 
 	m, err := build(*bench, *generator, *n, *deg, *gamma, *scale, *seed)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mmgen:", err)
-		os.Exit(1)
+		fail(err)
 	}
 
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "mmgen:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		defer f.Close()
 		w = f
 	}
 	if err := mm.Write(w, m); err != nil {
-		fmt.Fprintln(os.Stderr, "mmgen:", err)
-		os.Exit(1)
+		fail(err)
 	}
-	fmt.Fprintf(os.Stderr, "mmgen: %d rows, %d nonzeros, density %.2e\n",
-		m.N, m.NNZ(), m.Density())
+	logger.Info("mmgen.generated",
+		obs.Int("rows", m.N), obs.Int("nnz", m.NNZ()),
+		obs.F64("density", m.Density()))
 	if err := stopProfiles(); err != nil {
+		fail(err)
+	}
+}
+
+// logger is the CLI's diagnostic stream (stderr; stdout may carry the
+// matrix itself). main replaces it once the -log flag is parsed.
+var logger *obs.Logger
+
+// fail logs a fatal error as a structured line and exits. Before flag
+// parsing installs the logger, fall back to plain stderr.
+func fail(err error) {
+	if logger == nil {
 		fmt.Fprintln(os.Stderr, "mmgen:", err)
 		os.Exit(1)
 	}
+	logger.Error("mmgen.fatal", obs.Str("err", err.Error()))
+	os.Exit(1)
 }
 
 func build(bench, generator string, n int, deg, gamma float64, scale int, seed int64) (*sparse.COO, error) {

@@ -47,13 +47,14 @@ func main() {
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-request timeout")
 	retries := flag.Int("retries", 3, "retries per request after a 429 (honoring Retry-After)")
 	smoke := flag.Bool("smoke", false, "single round trip: upload, fetch by hash, validate, scrape /metrics")
+	reqID := flag.String("request-id", "", "send this X-Request-ID with the smoke upload and verify it round-trips (header + /debug/requests)")
 	jsonPath := flag.String("json", "", "write the latency summary in the BENCH_*.json schema")
 	flag.Parse()
 
 	base := "http://" + *addr
 	client := &http.Client{Timeout: *timeout}
 	if *smoke {
-		if err := runSmoke(client, base, *seed); err != nil {
+		if err := runSmoke(client, base, *seed, *reqID); err != nil {
 			fmt.Fprintln(os.Stderr, "planload: smoke:", err)
 			os.Exit(1)
 		}
@@ -149,14 +150,24 @@ func postPlanRetry(client *http.Client, base string, body []byte, retries int, r
 
 // runSmoke is the servesmoke primitive: upload one matrix, fetch the plan
 // back by content hash, deserialize and validate it, and check that the
-// daemon's /metrics exposition mentions the plan store.
-func runSmoke(client *http.Client, base string, seed int64) error {
+// daemon's /metrics exposition mentions the plan store. With a non-empty
+// reqID it also exercises the request-ID contract (DESIGN.md §18): the ID
+// must come back in the response header and appear in /debug/requests.
+func runSmoke(client *http.Client, base string, seed int64, reqID string) error {
 	m := gen.Uniform(rand.New(rand.NewSource(seed)), 512, 4000)
 	var upload bytes.Buffer
 	if err := hottiles.WriteMatrixMarket(&upload, m); err != nil {
 		return err
 	}
-	resp, err := client.Post(base+"/plan", "text/plain", bytes.NewReader(upload.Bytes()))
+	req, err := http.NewRequest(http.MethodPost, base+"/plan", bytes.NewReader(upload.Bytes()))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	if reqID != "" {
+		req.Header.Set(obs.RequestIDHeader, reqID)
+	}
+	resp, err := client.Do(req)
 	if err != nil {
 		return err
 	}
@@ -168,6 +179,12 @@ func runSmoke(client *http.Client, base string, seed int64) error {
 	hash := resp.Header.Get("X-Plan-Hash")
 	if hash == "" {
 		return fmt.Errorf("no X-Plan-Hash header")
+	}
+	if reqID != "" {
+		if echo := resp.Header.Get(obs.RequestIDHeader); echo != reqID {
+			return fmt.Errorf("request-id not echoed: sent %q, got %q", reqID, echo)
+		}
+		fmt.Printf("planload: request-id echoed id=%s\n", reqID)
 	}
 	plan, err := hottiles.ReadPlan(bytes.NewReader(planData))
 	if err != nil {
@@ -206,6 +223,22 @@ func runSmoke(client *http.Client, base string, seed int64) error {
 		if !strings.Contains(string(text), want) {
 			return fmt.Errorf("/metrics missing %s", want)
 		}
+	}
+
+	if reqID != "" {
+		fr, err := client.Get(base + "/debug/requests")
+		if err != nil {
+			return err
+		}
+		recs, _ := io.ReadAll(fr.Body)
+		fr.Body.Close()
+		if fr.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET /debug/requests: %d", fr.StatusCode)
+		}
+		if !bytes.Contains(recs, []byte(`"id": "`+reqID+`"`)) {
+			return fmt.Errorf("/debug/requests has no entry with id %q", reqID)
+		}
+		fmt.Printf("planload: request-id recorded id=%s\n", reqID)
 	}
 	return nil
 }

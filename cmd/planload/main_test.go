@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -18,8 +19,14 @@ import (
 func fakeDaemon(t *testing.T) *httptest.Server {
 	t.Helper()
 	plans := map[string][]byte{}
+	var lastID atomic.Value
+	lastID.Store("")
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /plan", func(w http.ResponseWriter, r *http.Request) {
+		if id := r.Header.Get("X-Request-ID"); id != "" {
+			lastID.Store(id)
+			w.Header().Set("X-Request-ID", id)
+		}
 		body, _ := io.ReadAll(r.Body)
 		m, err := hottiles.ReadMatrixMarket(bytes.NewReader(body))
 		if err != nil {
@@ -53,14 +60,28 @@ func fakeDaemon(t *testing.T) *httptest.Server {
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "planstore_builds 1\nhottilesd_plan_requests 1\n")
 	})
+	mux.HandleFunc("GET /debug/requests", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, `{"recent":[{"id": %q}]}`, lastID.Load())
+	})
 	return httptest.NewServer(mux)
 }
 
 func TestRunSmokeAgainstFakeDaemon(t *testing.T) {
 	ts := fakeDaemon(t)
 	defer ts.Close()
-	if err := runSmoke(ts.Client(), ts.URL, 1); err != nil {
+	if err := runSmoke(ts.Client(), ts.URL, 1, ""); err != nil {
 		t.Fatalf("smoke failed: %v", err)
+	}
+}
+
+// TestRunSmokeRequestID pins the client half of the §18 correlation
+// contract: the smoke run must fail loudly if the daemon drops the header
+// echo or the flight-recorder entry, and pass when both round-trip.
+func TestRunSmokeRequestID(t *testing.T) {
+	ts := fakeDaemon(t)
+	defer ts.Close()
+	if err := runSmoke(ts.Client(), ts.URL, 1, "smoke-test-1"); err != nil {
+		t.Fatalf("smoke with request-id failed: %v", err)
 	}
 }
 

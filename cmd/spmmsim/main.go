@@ -41,6 +41,7 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve the live debug endpoint (pprof, /metrics, /progress) on this address, e.g. :6060")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	logSpec := flag.String("log", "info:text", "diagnostic log level and format: level[:format], e.g. debug, warn:json")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -48,19 +49,23 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	stopProfiles, err := obs.StartProfiles(*cpuProfile, *memProfile)
+	logOpts, err := obs.ParseLogFlag(*logSpec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "spmmsim:", err)
-		os.Exit(1)
+		os.Exit(2)
+	}
+	logger = obs.NewLogger(os.Stderr, logOpts)
+	stopProfiles, err := obs.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fail(err)
 	}
 	if *debugAddr != "" {
 		addr, stop, err := obs.ServeDebug(*debugAddr)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "spmmsim:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		defer stop()
-		fmt.Fprintf(os.Stderr, "spmmsim: debug endpoint on http://%s\n", addr)
+		logger.Info("spmmsim.debug.listen", obs.Str("addr", addr))
 	}
 	par.SetWorkers(*workers)
 	e := experiments.NewEnv(*scale, *seed)
@@ -123,7 +128,8 @@ func main() {
 		doneProgress()
 		studyWallHist.ObserveSince(start)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "spmmsim: %s: %v\n", name, err)
+			logger.Error("spmmsim.study.fail",
+				obs.Str("study", name), obs.Str("err", err.Error()))
 			os.Exit(1)
 		}
 		tr.AddOutput(name, buf.Bytes())
@@ -132,8 +138,7 @@ func main() {
 
 	if tr != nil {
 		if err := obs.WriteTrace(tr, *tracePath, os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "spmmsim:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		if *tracePath != "-" {
 			fmt.Printf("wrote run manifest to %s\n", *tracePath)
@@ -141,17 +146,30 @@ func main() {
 	}
 	if *timelinePath != "" {
 		if err := obs.WriteTimeline(tl, *timelinePath, os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "spmmsim:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		if *timelinePath != "-" {
 			fmt.Printf("wrote timeline to %s (load in ui.perfetto.dev)\n", *timelinePath)
 		}
 	}
 	if err := stopProfiles(); err != nil {
+		fail(err)
+	}
+}
+
+// logger is the CLI's diagnostic stream (stderr; stdout stays the study
+// output). main replaces it once the -log flag is parsed.
+var logger *obs.Logger
+
+// fail logs a fatal error as a structured line and exits. Before flag
+// parsing installs the logger, fall back to plain stderr.
+func fail(err error) {
+	if logger == nil {
 		fmt.Fprintln(os.Stderr, "spmmsim:", err)
 		os.Exit(1)
 	}
+	logger.Error("spmmsim.fatal", obs.Str("err", err.Error()))
+	os.Exit(1)
 }
 
 var table = map[string]runner{

@@ -27,11 +27,23 @@
 // get a lighter grammar check (slash/underscore/dash separators allowed);
 // dynamic track names are legitimate — tracks are per-worker rows, not
 // dashboard series.
+//
+// PR 10's structured logger extends the same discipline to log names:
+// every obs.Logger message (Debug/Info/Warn/Error, and Log's second
+// argument) and every inline attr key built with obs.Str/Int/F64 must be
+// a compile-time constant matching the registry grammar, so log lines
+// stay greppable and a dashboard can alias a metric to the log stream
+// that explains it. The obs package itself is exempt — the logger's own
+// plumbing (Debug forwarding to Log, the slog bridge) forwards dynamic
+// messages by design. Registrations of the per-route httpd.* RED metrics
+// go through the ordinary duplicate/prom-collision suite check like any
+// other name.
 package metricname
 
 import (
 	"go/ast"
 	"go/constant"
+	"go/types"
 	"regexp"
 	"strings"
 
@@ -78,10 +90,23 @@ var constructors = map[string][]string{
 	"NewHistogram": {"", "_bucket", "_sum", "_count"},
 }
 
+// logMethods maps obs.Logger method names to the index of the message
+// argument (Log takes the level first).
+var logMethods = map[string]int{
+	"Debug": 0, "Info": 0, "Warn": 0, "Error": 0, "Log": 1,
+}
+
+// attrCtors are the package-level obs attr constructors whose first
+// argument names a log field.
+var attrCtors = map[string]bool{"Str": true, "Int": true, "F64": true}
+
 func run(pass *analysis.Pass) error {
 	if suite.names == nil {
 		reset() // standalone Run without Begin (unitchecker path)
 	}
+	// The logger's own plumbing forwards dynamic messages (Debug → Log,
+	// the slog bridge); the log-name rules apply to its callers.
+	selfObs := analysis.PathHasSuffix(pass.Pkg.Path(), "internal/obs")
 	pass.Inspect(func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
@@ -97,9 +122,52 @@ func run(pass *analysis.Pass) error {
 		if f.Name() == "TrackID" || f.Name() == "Intern" {
 			checkTrack(pass, call)
 		}
+		if !selfObs {
+			if idx, ok := logMethods[f.Name()]; ok && loggerMethod(f) && len(call.Args) > idx {
+				checkLogName(pass, call.Args[idx], "log message")
+			}
+			if attrCtors[f.Name()] && !isMethod(f) && len(call.Args) == 2 {
+				checkLogName(pass, call.Args[0], "log attr key")
+			}
+		}
 		return true
 	})
 	return nil
+}
+
+// loggerMethod reports whether f is a method on obs.Logger (pointer or
+// value receiver) — other obs types may share a method name like Error.
+func loggerMethod(f *types.Func) bool {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	return isNamed && named.Obj().Name() == "Logger"
+}
+
+func isMethod(f *types.Func) bool {
+	sig, ok := f.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}
+
+// checkLogName holds a log message or attr key to the same constant
+// dotted-lowercase discipline as metric names.
+func checkLogName(pass *analysis.Pass, e ast.Expr, what string) {
+	name, ok := constString(pass, e)
+	if !ok {
+		pass.Reportf(e.Pos(),
+			"%s must be a compile-time constant: dynamic log names defeat grepping", what)
+		return
+	}
+	if !nameRE.MatchString(name) {
+		pass.Reportf(e.Pos(),
+			"%s %q does not match the log-name grammar (dotted lowercase, segments start with a letter)", what, name)
+	}
 }
 
 // checkRegistration enforces constness, grammar, and suite-wide

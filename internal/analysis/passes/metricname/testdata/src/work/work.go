@@ -30,3 +30,27 @@ func tracks(tl *obs.Timeline, slot string) {
 	_ = tl.TrackID("par/" + slot) // silent: dynamic track names are allowed
 	_ = tl.TrackID("Par Pool")    // want `does not match the track grammar`
 }
+
+// The per-route RED triple goes through the same suite-wide duplicate and
+// prom-collision checks as any other registration.
+var (
+	httpdReq  = obs.NewCounter("httpd.work.requests")     // silent
+	httpdErr  = obs.NewCounter("httpd.work.errors")       // silent
+	httpdLat  = obs.NewHistogram("httpd.work.latency.ns") // silent
+	httpdDup  = obs.NewCounter("httpd.work.requests")     // want `metric "httpd.work.requests" already registered`
+	httpdProm = obs.NewGauge("httpd.work.latency.ns.sum") // want `collides with "httpd.work.latency.ns"`
+	httpdCase = obs.NewCounter("httpd.Work.requests")     // want `does not match the registry grammar`
+)
+
+const accessMsg = "work.httpd.access"
+
+func logs(log *obs.Logger, route string, lv obs.LogLevel) {
+	log.Info("work.start")                                 // silent
+	log.Log(lv, accessMsg, obs.Str("req", "id"))           // silent: constant-expression message and key
+	log.Debug("work.retry", obs.F64("retry.after.s", 1.5)) // silent: dotted key fits the grammar
+	log.Warn("Work.Start")                                 // want `log message "Work.Start" does not match the log-name grammar`
+	log.Error("work_fail")                                 // want `log message "work_fail" does not match the log-name grammar`
+	log.Info("work." + route)                              // want `log message must be a compile-time constant`
+	log.Info("work.ok", obs.Int("N", 1))                   // want `log attr key "N" does not match the log-name grammar`
+	log.Info("work.ok2", obs.Str("route."+route, "x"))     // want `log attr key must be a compile-time constant`
+}

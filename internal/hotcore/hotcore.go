@@ -11,10 +11,12 @@ package hotcore
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"time"
 
 	"repro/internal/arch"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/sparse"
 	"repro/internal/tile"
@@ -175,21 +177,41 @@ func PreprocessCtx(ctx context.Context, m *sparse.COO, a *arch.Arch, o Options) 
 		return nil, err
 	}
 
+	// The request's logger and span ride ctx (nil-safe no-ops when absent):
+	// each stage boundary closes a child span on the caller's span tree and
+	// leaves a debug line tagged with the request ID, so a daemon post-
+	// mortem attributes preprocessing time stage by stage. Both are gated
+	// up front: with no consumer attached (the CLI fast path) the attr
+	// arguments are never built, keeping preprocessing allocation-free.
+	log := obs.CtxLog(ctx)
+	parent := obs.CtxSpan(ctx)
+	debug := log.Enabled(obs.LogDebug)
+
 	// Stage 1: matrix scan — tiling and per-tile statistics.
 	if cerr := ctx.Err(); cerr != nil {
 		return nil, fmt.Errorf("hotcore: preprocessing canceled: %w", cerr)
 	}
+	sp := parent.Start("hotcore.scan")
+	if sp != nil {
+		sp.SetAttr("nnz", strconv.Itoa(m.NNZ()))
+	}
 	t0 := time.Now()
 	g, err := tile.Partition(m, a.TileH, a.TileW)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 	scan := time.Since(t0)
+	if debug {
+		log.Debug("hotcore.stage",
+			obs.Str("stage", "scan"), obs.Int("tiles", len(g.Tiles)), obs.Str("dur", scan.String()))
+	}
 
 	// Stage 2: partitioning heuristic.
 	if cerr := ctx.Err(); cerr != nil {
 		return nil, fmt.Errorf("hotcore: preprocessing canceled: %w", cerr)
 	}
+	sp = parent.Start("hotcore.partition")
 	t0 = time.Now()
 	var res partition.Result
 	switch strategy {
@@ -210,12 +232,18 @@ func PreprocessCtx(ctx context.Context, m *sparse.COO, a *arch.Arch, o Options) 
 		pred, tot, err = partition.Predict(g, &cfg, cold, false)
 		res = partition.Result{Hot: cold, Predicted: pred, Totals: tot}
 	default:
+		sp.End()
 		return nil, fmt.Errorf("hotcore: unknown strategy %d", int(strategy))
 	}
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 	part := time.Since(t0)
+	if debug {
+		log.Debug("hotcore.stage",
+			obs.Str("stage", "partition"), obs.F64("predicted", res.Predicted), obs.Str("dur", part.String()))
+	}
 
 	p := &Prep{Grid: g, Partition: res}
 	p.Timing.Scan = scan
@@ -225,6 +253,7 @@ func PreprocessCtx(ctx context.Context, m *sparse.COO, a *arch.Arch, o Options) 
 	if cerr := ctx.Err(); cerr != nil {
 		return nil, fmt.Errorf("hotcore: preprocessing canceled: %w", cerr)
 	}
+	sp = parent.Start("hotcore.baseformat")
 	t0 = time.Now()
 	cold := coldSection(g, res.Hot)
 	if a.Cold.Format == model.FormatCSR {
@@ -232,15 +261,26 @@ func PreprocessCtx(ctx context.Context, m *sparse.COO, a *arch.Arch, o Options) 
 	} else {
 		p.Cold = cold
 	}
+	sp.End()
 	p.Timing.BaseFormat = time.Since(t0)
+	if debug {
+		log.Debug("hotcore.stage",
+			obs.Str("stage", "baseformat"), obs.Str("dur", p.Timing.BaseFormat.String()))
+	}
 
 	// Stage 3b: hot (extra) format — the tiled section.
 	if cerr := ctx.Err(); cerr != nil {
 		return nil, fmt.Errorf("hotcore: preprocessing canceled: %w", cerr)
 	}
+	sp = parent.Start("hotcore.extraformat")
 	t0 = time.Now()
 	p.Hot = hotSection(g, res.Hot, a.Hot.Format == model.FormatCSR)
+	sp.End()
 	p.Timing.ExtraFormat = time.Since(t0)
+	if debug {
+		log.Debug("hotcore.stage",
+			obs.Str("stage", "extraformat"), obs.Str("dur", p.Timing.ExtraFormat.String()))
+	}
 
 	return p, nil
 }

@@ -152,6 +152,7 @@ const debugIndex = `<html><head><title>hottiles debug</title></head><body>
 <ul>
 <li><a href="/metrics">/metrics</a> — obs registry, Prometheus text exposition</li>
 <li><a href="/progress">/progress</a> — running study fan-out, JSON</li>
+<li><a href="/debug/requests">/debug/requests</a> — flight recorder: recent requests + post-mortems, JSON</li>
 <li><a href="/debug/vars">/debug/vars</a> — expvar (memstats, cmdline)</li>
 <li><a href="/debug/pprof/">/debug/pprof/</a> — CPU, heap, goroutine, block profiles</li>
 </ul></body></html>
@@ -170,6 +171,16 @@ func DebugMux() *http.ServeMux {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if err := RegistrySnapshot().WriteMetricsText(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/requests", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		// Resolved per request: ConfigureFlight may swap the recorder after
+		// the mux was built.
+		if err := enc.Encode(Flight().Snapshot()); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})

@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestFlightRecorderRing(t *testing.T) {
+	f := NewFlightRecorder(FlightConfig{Capacity: 4, SlowThreshold: -1})
+	for i := 0; i < 6; i++ {
+		f.Record(RequestRecord{ID: fmt.Sprintf("r%d", i), Route: "plan", Status: 200}, nil, nil)
+	}
+	v := f.Snapshot()
+	if v.Total != 6 {
+		t.Errorf("Total = %d, want 6", v.Total)
+	}
+	if len(v.Recent) != 4 {
+		t.Fatalf("Recent has %d entries, want 4", len(v.Recent))
+	}
+	for i, want := range []string{"r5", "r4", "r3", "r2"} {
+		if v.Recent[i].ID != want {
+			t.Errorf("Recent[%d] = %q, want %q (newest first)", i, v.Recent[i].ID, want)
+		}
+	}
+	if len(v.Postmortem) != 0 || v.Captured != 0 {
+		t.Errorf("slow capture disabled but postmortem ring has %d/%d", len(v.Postmortem), v.Captured)
+	}
+}
+
+// buildSpanTree makes a finished tracer with two phases for phase-timing
+// assertions.
+func buildSpanTree() *SpanRecord {
+	tr := New("httpd.plan")
+	sp := tr.Root().Start("hotcore.scan")
+	sp.End()
+	sp = tr.Root().Start("hotcore.partition")
+	sp.End()
+	return tr.SpanTree()
+}
+
+func TestFlightPostmortemCapture(t *testing.T) {
+	f := NewFlightRecorder(FlightConfig{SlowThreshold: 10 * time.Millisecond})
+	tl := NewTimeline(16)
+	ts := tl.Track("httpd/plan").Start("r-slow")
+	ts.End()
+
+	f.Record(RequestRecord{ID: "r-ok", Status: 200, LatencyNS: 1000}, buildSpanTree(), tl)
+	f.Record(RequestRecord{ID: "r-5xx", Status: 503, LatencyNS: 1000}, buildSpanTree(), tl)
+	f.Record(RequestRecord{ID: "r-slow", Status: 200,
+		LatencyNS: (20 * time.Millisecond).Nanoseconds()}, buildSpanTree(), tl)
+	f.Record(RequestRecord{ID: "r-both", Status: 500,
+		LatencyNS: (20 * time.Millisecond).Nanoseconds()}, buildSpanTree(), tl)
+
+	v := f.Snapshot()
+	if v.Total != 4 || v.Captured != 3 {
+		t.Fatalf("Total/Captured = %d/%d, want 4/3", v.Total, v.Captured)
+	}
+	wantReason := map[string]string{"r-5xx": "error", "r-slow": "slow", "r-both": "error,slow"}
+	for _, pm := range v.Postmortem {
+		want, ok := wantReason[pm.ID]
+		if !ok {
+			t.Errorf("unexpected postmortem %q", pm.ID)
+			continue
+		}
+		if pm.Reason != want {
+			t.Errorf("%s: reason = %q, want %q", pm.ID, pm.Reason, want)
+		}
+		if pm.Spans == nil || len(pm.Spans.Children) != 2 {
+			t.Errorf("%s: postmortem lost its span tree", pm.ID)
+		}
+		if len(pm.Phases) != 2 || pm.Phases[0].Name != "hotcore.scan" {
+			t.Errorf("%s: phases = %v, want the span tree's top level", pm.ID, pm.Phases)
+		}
+		if len(pm.Timeline) == 0 {
+			t.Errorf("%s: postmortem lost its timeline slice", pm.ID)
+		}
+	}
+	// The compact ring records everything, captured or not.
+	for _, rec := range v.Recent {
+		if rec.ID == "r-ok" && len(rec.Phases) != 2 {
+			t.Errorf("compact record lost phase timings: %v", rec)
+		}
+	}
+}
+
+func TestFlightNilSafe(t *testing.T) {
+	var f *FlightRecorder
+	f.Record(RequestRecord{ID: "x"}, nil, nil)
+	if v := f.Snapshot(); v.Total != 0 {
+		t.Errorf("nil recorder snapshot = %+v", v)
+	}
+}
+
+func TestWritePostmortem(t *testing.T) {
+	f := NewFlightRecorder(FlightConfig{SlowThreshold: -1})
+	f.Record(RequestRecord{ID: "bad", Status: 502}, buildSpanTree(), nil)
+	var buf bytes.Buffer
+	if err := f.WritePostmortem(&buf); err != nil {
+		t.Fatalf("WritePostmortem: %v", err)
+	}
+	var doc struct {
+		Captured   uint64             `json:"captured"`
+		Postmortem []PostmortemRecord `json:"postmortem"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("postmortem dump is not JSON: %v", err)
+	}
+	if doc.Captured != 1 || len(doc.Postmortem) != 1 || doc.Postmortem[0].ID != "bad" {
+		t.Errorf("dump = %+v, want the one captured request", doc)
+	}
+}
+
+func TestDebugRequestsRoute(t *testing.T) {
+	f := ConfigureFlight(FlightConfig{Capacity: 8})
+	f.Record(RequestRecord{ID: "via-http", Route: "plan", Status: 200}, nil, nil)
+
+	srv := httptest.NewServer(DebugMux())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/debug/requests")
+	if err != nil {
+		t.Fatalf("GET /debug/requests: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content-type = %q", ct)
+	}
+	var v FlightView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decoding: %v", err)
+	}
+	if len(v.Recent) != 1 || v.Recent[0].ID != "via-http" {
+		t.Errorf("route served %+v, want the recorded request", v)
+	}
+
+	// The route resolves the recorder per request: reconfiguring swaps what
+	// it serves without rebuilding the mux.
+	ConfigureFlight(FlightConfig{})
+	resp2, err := srv.Client().Get(srv.URL + "/debug/requests")
+	if err != nil {
+		t.Fatalf("GET after ConfigureFlight: %v", err)
+	}
+	defer resp2.Body.Close()
+	var v2 FlightView
+	if err := json.NewDecoder(resp2.Body).Decode(&v2); err != nil {
+		t.Fatalf("decoding: %v", err)
+	}
+	if v2.Total != 0 {
+		t.Errorf("after reconfigure Total = %d, want 0", v2.Total)
+	}
+}
+
+func TestTimelineTailView(t *testing.T) {
+	tl := NewTimeline(8)
+	for i := 0; i < 3; i++ {
+		s := tl.Track("httpd/plan").Start(fmt.Sprintf("req%d", i))
+		s.End()
+	}
+	tl.Append(Event{Kind: EvQueueDepth, Track: tl.TrackID("pool"), Name: -1, Value: 2})
+
+	all := tl.TailView(10)
+	if len(all) != 4 {
+		t.Fatalf("TailView(10) = %d events, want 4", len(all))
+	}
+	if all[0].Track != "httpd/plan" || all[0].Name != "req0" || all[0].Kind != "slice" {
+		t.Errorf("first event = %+v", all[0])
+	}
+	if all[3].Kind != "queue.depth" || all[3].Value != 2 {
+		t.Errorf("last event = %+v", all[3])
+	}
+
+	tail := tl.TailView(2)
+	if len(tail) != 2 || tail[0].Name != "req2" {
+		t.Errorf("TailView(2) = %+v, want the newest two", tail)
+	}
+	var nilTL *Timeline
+	if nilTL.TailView(4) != nil {
+		t.Errorf("nil timeline TailView should be nil")
+	}
+}
+
+func TestSpanTreeExport(t *testing.T) {
+	tr := New("root")
+	child := tr.Root().Start("phase.a", Str("k", "v"))
+	child.Start("inner").End()
+	child.End()
+	tree := tr.SpanTree()
+	if tree == nil || tree.Name != "root" {
+		t.Fatalf("SpanTree = %+v", tree)
+	}
+	if len(tree.Children) != 1 || tree.Children[0].Name != "phase.a" {
+		t.Fatalf("children = %+v", tree.Children)
+	}
+	if tree.Children[0].Attrs["k"] != "v" {
+		t.Errorf("attrs lost: %+v", tree.Children[0].Attrs)
+	}
+	if len(tree.Children[0].Children) != 1 {
+		t.Errorf("grandchild lost")
+	}
+	var nilTr *Tracer
+	if nilTr.SpanTree() != nil {
+		t.Errorf("nil tracer SpanTree should be nil")
+	}
+}

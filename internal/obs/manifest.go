@@ -77,6 +77,19 @@ func record(s *Span) *SpanRecord {
 	return r
 }
 
+// SpanTree finalizes the tracer (Finish) and returns the serialized span
+// tree alone — the shape the flight recorder retains per captured request,
+// without the whole-process registry snapshot a Manifest carries.
+func (t *Tracer) SpanTree() *SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.Finish()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return record(t.root)
+}
+
 // Manifest finalizes the tracer (Finish) and assembles the run manifest,
 // snapshotting every registered counter and gauge.
 func (t *Tracer) Manifest() *Manifest {

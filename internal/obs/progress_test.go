@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// progressNames collects the names with the given prefix from a slice of
+// running or finished items.
+func runningNames(v ProgressView, prefix string) []string {
+	var out []string
+	for _, it := range v.Running {
+		if len(it.Name) >= len(prefix) && it.Name[:len(prefix)] == prefix {
+			out = append(out, it.Name)
+		}
+	}
+	return out
+}
+
+func recentNames(v ProgressView, prefix string) []string {
+	var out []string
+	for _, it := range v.Recent {
+		if len(it.Name) >= len(prefix) && it.Name[:len(prefix)] == prefix {
+			out = append(out, it.Name)
+		}
+	}
+	return out
+}
+
+// The board is process-global, so assertions are relative to a baseline and
+// use prefixed names that no other test starts.
+func TestStartProgressBoard(t *testing.T) {
+	base := ProgressSnapshot().Completed
+	doneA := StartProgress("ptest.alpha")
+	doneB := StartProgress("ptest.beta")
+
+	v := ProgressSnapshot()
+	if got := runningNames(v, "ptest."); len(got) != 2 {
+		t.Fatalf("running = %v, want both ptest items", got)
+	}
+	if v.Completed != base {
+		t.Errorf("Completed moved before done: %d != %d", v.Completed, base)
+	}
+
+	doneA()
+	doneA() // idempotent
+	v = ProgressSnapshot()
+	if got := runningNames(v, "ptest."); len(got) != 1 || got[0] != "ptest.beta" {
+		t.Errorf("after doneA running = %v, want only ptest.beta", got)
+	}
+	if v.Completed != base+1 {
+		t.Errorf("Completed = %d, want %d (idempotent done)", v.Completed, base+1)
+	}
+	if got := recentNames(v, "ptest."); len(got) != 1 || got[0] != "ptest.alpha" {
+		t.Errorf("recent = %v, want finished ptest.alpha", got)
+	}
+
+	doneB()
+	if got := runningNames(ProgressSnapshot(), "ptest."); len(got) != 0 {
+		t.Errorf("items leaked on the board: %v", got)
+	}
+}
+
+// Two concurrent starts of the same name are distinct board entries.
+func TestStartProgressSameName(t *testing.T) {
+	done1 := StartProgress("ptest.dup")
+	done2 := StartProgress("ptest.dup")
+	if got := runningNames(ProgressSnapshot(), "ptest.dup"); len(got) != 2 {
+		t.Errorf("running = %v, want two ptest.dup entries", got)
+	}
+	done1()
+	if got := runningNames(ProgressSnapshot(), "ptest.dup"); len(got) != 1 {
+		t.Errorf("running = %v, want one ptest.dup left", got)
+	}
+	done2()
+}
+
+func TestProgressConcurrent(t *testing.T) {
+	base := ProgressSnapshot().Completed
+	const workers, per = 16, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				done := StartProgress("ptest.conc")
+				ProgressSnapshot() // reads race with starts under -race
+				done()
+			}
+		}()
+	}
+	wg.Wait()
+	v := ProgressSnapshot()
+	if v.Completed != base+workers*per {
+		t.Errorf("Completed = %d, want %d", v.Completed, base+workers*per)
+	}
+	if got := runningNames(v, "ptest.conc"); len(got) != 0 {
+		t.Errorf("%d ptest.conc items still running", len(got))
+	}
+	// The finished ring stays bounded no matter how many items completed.
+	if len(v.Recent) > progressRecent {
+		t.Errorf("recent ring grew to %d, cap is %d", len(v.Recent), progressRecent)
+	}
+}
+
+func TestProgressJSONShape(t *testing.T) {
+	done := StartProgress("ptest.http")
+	defer done()
+
+	srv := httptest.NewServer(DebugMux())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/progress")
+	if err != nil {
+		t.Fatalf("GET /progress: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content-type = %q", ct)
+	}
+
+	// Pin the wire shape, not just the Go struct: the keys are the JSON
+	// contract dashboards scrape.
+	var raw map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatalf("decoding: %v", err)
+	}
+	if _, ok := raw["running"]; !ok {
+		t.Fatalf("response lacks \"running\": %v", raw)
+	}
+	if _, ok := raw["completed"]; !ok {
+		t.Fatalf("response lacks \"completed\": %v", raw)
+	}
+	var running []RunningItem
+	if err := json.Unmarshal(raw["running"], &running); err != nil {
+		t.Fatalf("running key: %v", err)
+	}
+	found := false
+	for _, it := range running {
+		if it.Name == "ptest.http" {
+			found = true
+			if it.ElapsedMS < 0 {
+				t.Errorf("negative elapsed: %v", it)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("/progress does not show the in-flight item: %v", running)
+	}
+}

@@ -150,6 +150,7 @@ func New(cfg Config) (*Store, error) {
 // transiently (timeout, cancellation). A follower whose ctx expires stops
 // waiting without disturbing the build.
 func (s *Store) Get(ctx context.Context, key string, build func(ctx context.Context) ([]byte, error)) ([]byte, error) {
+	log := obs.CtxLog(ctx)
 	s.mu.Lock()
 	if e, ok := s.mem[key]; ok {
 		s.lru.MoveToFront(e)
@@ -157,16 +158,20 @@ func (s *Store) Get(ctx context.Context, key string, build func(ctx context.Cont
 		s.mu.Unlock()
 		s.memHits.Add(1)
 		storeMemHits.Inc()
+		log.Debug("planstore.hit", obs.Str("key", keyShort(key)))
 		return val, nil
 	}
 	if f, ok := s.flights[key]; ok {
 		s.mu.Unlock()
 		s.coalesced.Add(1)
 		storeCoalesced.Inc()
+		log.Debug("planstore.join", obs.Str("key", keyShort(key)))
 		select {
 		case <-f.done:
 			return f.val, f.err
 		case <-ctx.Done():
+			log.Warn("planstore.join.abandon",
+				obs.Str("key", keyShort(key)), obs.Str("err", ctx.Err().Error()))
 			return nil, fmt.Errorf("planstore: waiting for in-flight build: %w", ctx.Err())
 		}
 	}
@@ -179,7 +184,7 @@ func (s *Store) Get(ctx context.Context, key string, build func(ctx context.Cont
 	s.mu.Lock()
 	delete(s.flights, key)
 	if f.err == nil {
-		s.putLocked(key, f.val)
+		s.putLocked(log, key, f.val)
 	}
 	s.mu.Unlock()
 	close(f.done)
@@ -201,7 +206,7 @@ func (s *Store) Peek(key string) ([]byte, bool) {
 	s.mu.Unlock()
 	if val, ok := s.readDisk(key); ok {
 		s.mu.Lock()
-		s.putLocked(key, val)
+		s.putLocked(nil, key, val)
 		s.mu.Unlock()
 		return val, true
 	}
@@ -210,9 +215,11 @@ func (s *Store) Peek(key string) ([]byte, bool) {
 
 // runBuild admits the build through the gate, checks disk, and runs it.
 func (s *Store) runBuild(ctx context.Context, key string, build func(ctx context.Context) ([]byte, error)) ([]byte, error) {
+	log := obs.CtxLog(ctx)
 	// Disk check happens before admission: reading a spilled plan back is
 	// IO, not preprocessing, and must not be refused under build load.
 	if val, ok := s.readDisk(key); ok {
+		log.Debug("planstore.hit.disk", obs.Str("key", keyShort(key)))
 		return val, nil
 	}
 	if err := s.acquire(ctx); err != nil {
@@ -222,6 +229,7 @@ func (s *Store) runBuild(ctx context.Context, key string, build func(ctx context
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("planstore: canceled before build: %w", err)
 	}
+	log.Debug("planstore.build.start", obs.Str("key", keyShort(key)))
 	t0 := time.Now()
 	val, err := build(ctx)
 	dur := time.Since(t0).Nanoseconds()
@@ -232,8 +240,16 @@ func (s *Store) runBuild(ctx context.Context, key string, build func(ctx context
 	if err != nil {
 		s.buildErrs.Add(1)
 		storeBuildErrs.Inc()
+		log.Warn("planstore.build.fail",
+			obs.Str("key", keyShort(key)),
+			obs.Str("dur", time.Duration(dur).String()),
+			obs.Str("err", err.Error()))
 		return nil, err
 	}
+	log.Info("planstore.build.done",
+		obs.Str("key", keyShort(key)),
+		obs.Str("dur", time.Duration(dur).String()),
+		obs.Int("bytes", len(val)))
 	s.writeDisk(key, val)
 	return val, nil
 }
@@ -251,6 +267,7 @@ func (s *Store) acquire(ctx context.Context) error {
 		s.queued.Add(-1)
 		s.rejected.Add(1)
 		storeRejected.Inc()
+		obs.CtxLog(ctx).Warn("planstore.reject", obs.Int("queued", int(q-1)))
 		return ErrBusy
 	}
 	storeQueued.Set(s.queued.Load())
@@ -273,8 +290,9 @@ func (s *Store) release() {
 
 // putLocked inserts a value into the memory LRU and evicts from the cold
 // end until the byte budget holds again (the newest value always stays,
-// even when it alone exceeds the budget).
-func (s *Store) putLocked(key string, val []byte) {
+// even when it alone exceeds the budget). log, when non-nil, tags eviction
+// lines with the request that caused them (Peek passes nil).
+func (s *Store) putLocked(log *obs.Logger, key string, val []byte) {
 	if e, ok := s.mem[key]; ok {
 		s.bytes += int64(len(val)) - int64(len(e.Value.(*memEntry).val))
 		e.Value.(*memEntry).val = val
@@ -291,7 +309,18 @@ func (s *Store) putLocked(key string, val []byte) {
 		s.bytes -= int64(len(ent.val))
 		s.evictions.Add(1)
 		storeEvictions.Inc()
+		log.Debug("planstore.evict",
+			obs.Str("key", keyShort(ent.key)), obs.Int("bytes", len(ent.val)))
 	}
+}
+
+// keyShort abbreviates a content hash for log lines: the full 64 hex chars
+// are noise at a glance and the prefix stays greppable against X-Plan-Hash.
+func keyShort(key string) string {
+	if len(key) > 12 {
+		return key[:12]
+	}
+	return key
 }
 
 // observeBuild folds one build duration into the EWMA (α = 1/4).

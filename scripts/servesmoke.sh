@@ -2,7 +2,8 @@
 # servesmoke: end-to-end exercise of the hottilesd daemon through real
 # processes and a real port. Starts the daemon on an ephemeral port, runs
 # planload's smoke round trip (upload → plan → fetch-by-hash → validate →
-# /metrics scrape), then sends SIGTERM and requires a clean drained exit.
+# /metrics scrape) with a known request ID and greps that same ID out of
+# the access log, then sends SIGTERM and requires a clean drained exit.
 # Run from the repo root via `make servesmoke` (builds the binaries first).
 set -eu
 
@@ -21,10 +22,11 @@ trap cleanup EXIT INT TERM
 "$HOTTILESD" -addr 127.0.0.1:0 -store-dir "$store" 2>"$log" &
 daemon_pid=$!
 
-# The daemon logs "listening on http://HOST:PORT" once bound; poll for it.
+# The daemon logs a JSON hottilesd.listen line with its bound address once
+# the listener is up; poll for it.
 addr=""
 for _ in $(seq 1 100); do
-    addr=$(sed -n 's/.*listening on http:\/\/\([^ ]*\).*/\1/p' "$log" | head -1)
+    addr=$(sed -n '/hottilesd.listen/s/.*"addr":"\([^"]*\)".*/\1/p' "$log" | head -1)
     [ -n "$addr" ] && break
     if ! kill -0 "$daemon_pid" 2>/dev/null; then
         echo "servesmoke: daemon died during startup:" >&2
@@ -40,12 +42,24 @@ if [ -z "$addr" ]; then
 fi
 echo "servesmoke: daemon on $addr"
 
-"$PLANLOAD" -addr "$addr" -smoke
+# One validated round trip carrying a known request ID: planload asserts
+# the header echo and the /debug/requests entry itself.
+REQID="servesmoke-$$"
+"$PLANLOAD" -addr "$addr" -smoke -request-id "$REQID"
+
+# The same ID must tag the daemon's access-log line (DESIGN.md §18).
+grep -q "\"req\":\"$REQID\"" "$log" || {
+    echo "servesmoke: request ID $REQID not in the daemon access log:" >&2
+    cat "$log" >&2
+    exit 1
+}
+echo "servesmoke: request ID $REQID correlated across header, log, /debug/requests"
 
 # A small concurrent burst through the real HTTP stack.
 "$PLANLOAD" -addr "$addr" -clients 8 -requests 32 -matrices 4 -sizes 256,512
 
-# Clean shutdown: SIGTERM must drain and exit 0.
+# Clean shutdown: SIGTERM must drain and exit 0, logging the drain as
+# structured lines.
 kill -TERM "$daemon_pid"
 rc=0
 wait "$daemon_pid" || rc=$?
@@ -55,7 +69,7 @@ if [ "$rc" -ne 0 ]; then
     cat "$log" >&2
     exit 1
 fi
-grep -q "drained, bye" "$log" || {
+grep -q "hottilesd.drain.done" "$log" || {
     echo "servesmoke: daemon did not report a drained shutdown:" >&2
     cat "$log" >&2
     exit 1
